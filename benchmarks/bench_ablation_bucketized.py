@@ -1,0 +1,56 @@
+"""Ablation: the Section 8 space/error trade-off on bucketized histograms.
+
+The main development assumes exact histograms; Section 8.1 points at the
+error introduced once histograms are bucketized.  We sweep the bucket
+budget for a skewed join and record the relative error of the J1 estimate:
+error should vanish at full resolution and grow as buckets shrink, tracing
+the memory/accuracy frontier of Section 8.2.
+"""
+
+import random
+
+from conftest import write_report
+
+from repro.core.bucketized import join_estimation_error
+from repro.core.histogram import Histogram
+
+DOMAIN = 2000
+BUDGETS = [4, 16, 64, 256, 1024, DOMAIN]
+
+
+def _skewed_pair(seed: int):
+    rng = random.Random(seed)
+    h1 = {v: max(1, int(2000 / (v**0.9))) for v in range(1, DOMAIN + 1)}
+    keys = rng.sample(range(1, DOMAIN + 1), DOMAIN // 2)
+    h2 = {v: rng.randint(1, 40) for v in keys}
+    return Histogram.single("k", h1), Histogram.single("k", h2)
+
+
+def _sweep():
+    h1, h2 = _skewed_pair(11)
+    rows = []
+    for buckets in BUDGETS:
+        exact, estimated, rel = join_estimation_error(h1, h2, buckets)
+        rows.append(
+            (buckets, f"{exact:.0f}", f"{estimated:.0f}", round(rel, 4))
+        )
+    return rows
+
+
+def test_bucketized_error_tradeoff(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_report(
+        results_dir,
+        "ablation_bucketized",
+        "Section 8 trade-off: join estimation error vs histogram buckets",
+        ["buckets", "exact", "estimated", "relative error"],
+        [list(r) for r in rows],
+    )
+    errors = [r[3] for r in rows]
+    # exact at full resolution
+    assert errors[-1] == 0.0
+    # the coarsest histogram is clearly worse than the finest ones
+    assert errors[0] > errors[-2]
+    # error is loosely monotone: the best of the coarse half is never
+    # better than the best of the fine half
+    assert min(errors[:3]) >= min(errors[3:])

@@ -1,0 +1,60 @@
+"""Ablation: the Section 8.2 memory/error frontier.
+
+Sweep the allowed estimation error and record the memory the error-aware
+selector needs: with zero allowed error the exact optimum is required; as
+the budget grows, histograms coarsen and memory falls toward the
+counters-only floor.
+"""
+
+from conftest import write_report
+
+from repro.algebra.blocks import analyze
+from repro.core.costs import CostModel
+from repro.core.error_aware import select_with_error_budget
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.core.ilp import solve_ilp
+from repro.core.selection import build_problem
+from repro.workloads import case
+
+BUDGETS = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)
+
+
+def _frontier():
+    wfcase = case(16)
+    workflow = wfcase.build()
+    analysis = analyze(workflow)
+    catalog = generate_css(analysis, GeneratorOptions(fk_rules=False))
+    cost_model = CostModel(workflow.catalog)
+    problem = build_problem(catalog, cost_model)
+    base = solve_ilp(problem)
+    rows = []
+    for budget in BUDGETS:
+        result = select_with_error_budget(
+            catalog, problem, base, cost_model, error_budget=budget
+        )
+        rows.append(
+            (
+                budget,
+                f"{result.total_memory:.0f}",
+                round(result.worst_required_error(catalog), 3),
+            )
+        )
+    return base.total_cost, rows
+
+
+def test_error_memory_frontier(benchmark, results_dir):
+    exact_cost, rows = benchmark.pedantic(_frontier, rounds=1, iterations=1)
+    write_report(
+        results_dir,
+        "ablation_error_aware",
+        f"Section 8.2 frontier (exact optimum {exact_cost:.0f} units)",
+        ["allowed error", "memory units", "worst projected error"],
+        [list(r) for r in rows],
+    )
+    memories = [float(r[1]) for r in rows]
+    # zero budget == exact memory; memory falls as the budget grows
+    assert memories[0] == exact_cost
+    assert memories == sorted(memories, reverse=True)
+    assert memories[-1] < memories[0]
+    # projected error always within budget
+    assert all(r[2] <= r[0] + 1e-9 for r in rows)

@@ -1,0 +1,82 @@
+"""Ablation: how much metadata shrinks the statistics bill.
+
+The conclusion of the paper: "The use of metadata, cross-product rules and
+rules for cardinality estimation drastically reduces the statistics that
+are needed".  This bench quantifies each ingredient on the suite:
+
+- FK-lookup rules (Section 3.2.2 / 6): with lookup metadata, most SE
+  cardinalities derive from the fact table's counters;
+- existing source statistics (Section 6.2): free catalog statistics
+  displace paid observations.
+"""
+
+from conftest import ILP_TIME_LIMIT, write_report
+
+from repro.core.costs import CostModel
+from repro.core.external import harvest_source_statistics
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.core.ilp import solve_ilp
+from repro.core.selection import build_problem
+from repro.estimation.bootstrap import bootstrap_se_sizes
+
+SAMPLE = [9, 11, 13, 14, 19, 26, 28, 30]
+
+
+def _metadata_sweep(analyses):
+    by_number = {case.number: (case, wf, an) for case, wf, an in analyses}
+    rows = []
+    for number in SAMPLE:
+        case, workflow, analysis = by_number[number]
+        cards, dv = case.characteristics(scale=1.0)
+        cost_model = CostModel(
+            workflow.catalog, se_sizes=bootstrap_se_sizes(analysis, cards, dv)
+        )
+        plain = solve_ilp(
+            build_problem(
+                generate_css(analysis, GeneratorOptions(fk_rules=False)),
+                cost_model,
+            ),
+            time_limit=ILP_TIME_LIMIT,
+        )
+        with_fk = solve_ilp(
+            build_problem(generate_css(analysis), cost_model),
+            time_limit=ILP_TIME_LIMIT,
+        )
+        sources = case.tables(scale=0.1, seed=2)
+        free, _values = harvest_source_statistics(sources)
+        with_free = solve_ilp(
+            build_problem(
+                generate_css(analysis, GeneratorOptions(fk_rules=False)),
+                cost_model,
+                free_statistics=free,
+            ),
+            time_limit=ILP_TIME_LIMIT,
+        )
+        rows.append(
+            (
+                number,
+                f"{plain.total_cost:.0f}",
+                f"{with_fk.total_cost:.0f}",
+                f"{with_free.total_cost:.0f}",
+            )
+        )
+    return rows
+
+
+def test_metadata_ablation(benchmark, workflow_analyses, results_dir):
+    rows = benchmark.pedantic(
+        _metadata_sweep, args=(workflow_analyses,), rounds=1, iterations=1
+    )
+    write_report(
+        results_dir,
+        "ablation_metadata",
+        "Ablation: observation cost (memory units) without metadata, with "
+        "FK-lookup rules, and with free source statistics",
+        ["wf", "no metadata", "FK rules", "source stats free"],
+        [list(r) for r in rows],
+    )
+    for _wf, plain, fk, free in rows:
+        assert float(fk) <= float(plain)
+        assert float(free) <= float(plain)
+    # FK metadata collapses star-join workflows to counter-only bills
+    assert any(float(fk) < float(plain) / 10 for _wf, plain, fk, _ in rows)

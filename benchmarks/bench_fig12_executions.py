@@ -1,0 +1,55 @@
+"""Figure 12: number of executions to cover all SEs (pay-as-you-go [6]).
+
+Per workflow: the lower bound ``ceil((2^n - (n+2)) / (n-2))`` on the
+largest join block, and the length of a concrete re-ordering schedule found
+by the coverage search over all 2^n subsets (the paper's semantics-free
+setting; its hand-built schedules are the same kind of upper bound).
+Shapes to reproduce:
+
+- many workflows need exactly 1 execution (linear flows, or joins split
+  across block boundaries);
+- workflow 30's 6-way block needs >= 14 (paper found 18; we find 20);
+- workflow 21's 8-way block needs >= 41 (paper found > 70; we find 70);
+- exploiting join-graph semantics and FK metadata shrinks the schedules
+  (the Section 7.3 remark);
+- our framework needs one execution everywhere, given enough memory.
+"""
+
+from conftest import write_report
+
+from repro.experiments import SuiteContext, fig12_rows
+
+
+def test_fig12_executions(benchmark, workflow_analyses, results_dir):
+    context = SuiteContext(
+        [c for c, _w, _a in workflow_analyses],
+        [w for _c, w, _a in workflow_analyses],
+        [a for _c, _w, a in workflow_analyses],
+    )
+    header, rows = benchmark.pedantic(
+        fig12_rows, args=(context,), rounds=1, iterations=1
+    )
+    write_report(
+        results_dir,
+        "fig12_executions",
+        "Figure 12: executions needed to cover all SEs "
+        "(min formula vs found schedule; ours = 1)",
+        header,
+        rows,
+    )
+    by_wf = {r[0]: r for r in rows}
+    # the paper's quoted bounds
+    assert by_wf[21][1] == 41
+    assert by_wf[30][1] == 14
+    # semantics-free schedules respect the generic lower bound and, as in
+    # the paper, overshoot it on the big joins (paper: wf21 "> 70")
+    assert all(r[2] >= r[1] for r in rows)
+    assert by_wf[21][2] > 41
+    # linear workflows need exactly one execution
+    for wf in (1, 2, 3, 4, 5, 6):
+        assert by_wf[wf][1] == 1 and by_wf[wf][2] == 1
+    # exploiting semantics/metadata only ever shrinks the schedule
+    assert all(r[3] <= r[2] and r[4] <= r[3] for r in rows)
+    # a good chunk of the suite needs multiple executions under
+    # pay-as-you-go -- our framework needs one
+    assert sum(1 for r in rows if r[2] > 1) >= 12

@@ -1,0 +1,40 @@
+"""Figure 9: complexity of the workflows.
+
+For each of the 30 workflows, the number of SEs and the number of CSSs
+formed without and with the union-division method.  Shape to reproduce:
+both counts grow with workflow complexity, union-division adds CSSs (it
+only ever introduces alternatives), and the 8-way-join workflow (21)
+dominates.
+"""
+
+from conftest import write_report
+
+from repro.experiments import SuiteContext, fig9_rows
+
+
+def test_fig9_complexity(benchmark, workflow_analyses, results_dir):
+    context = SuiteContext(
+        [c for c, _w, _a in workflow_analyses],
+        [w for _c, w, _a in workflow_analyses],
+        [a for _c, _w, a in workflow_analyses],
+    )
+    header, rows = benchmark.pedantic(
+        fig9_rows, args=(context,), rounds=1, iterations=1
+    )
+    write_report(
+        results_dir,
+        "fig9_complexity",
+        "Figure 9: workflow complexity (#SE, #CSS without/with union-division)",
+        header,
+        rows,
+    )
+    by_wf = {r[0]: r for r in rows}
+    # union-division only ever adds CSSs
+    assert all(r[3] >= r[2] for r in rows)
+    # ... and does add some on the join-heavy workflows
+    assert sum(1 for r in rows if r[3] > r[2]) >= 10
+    # the 8-way join dominates both counts
+    assert by_wf[21][1] == max(r[1] for r in rows)
+    assert by_wf[21][3] == max(r[3] for r in rows)
+    # simple linear flows sit at the bottom of the range
+    assert by_wf[2][1] == min(r[1] for r in rows)

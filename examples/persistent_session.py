@@ -1,0 +1,89 @@
+"""Persisting learned statistics across engine restarts.
+
+A nightly ETL engine starts fresh every night; what it learned yesterday
+lives on disk.  This example simulates two process lifetimes:
+
+- night 1: a new session learns statistics, optimizes, and saves its state;
+- night 2: a *fresh* session resumes from the file and immediately executes
+  the previously adopted plan — no cold start — while still re-learning and
+  watching for drift.
+
+Run:  python examples/persistent_session.py
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Catalog,
+    EtlSession,
+    Join,
+    Source,
+    StatisticsPipeline,
+    Table,
+    Target,
+    Workflow,
+)
+
+
+def build_workflow() -> Workflow:
+    catalog = Catalog()
+    catalog.add_relation("Orders", {"cust": 150, "prod": 90, "oid": 4000})
+    catalog.add_relation("Customers", {"cust": 150, "seg": 8})
+    catalog.add_relation("Products", {"prod": 90, "cat": 12})
+    orders = Source(catalog, "Orders")
+    customers = Source(catalog, "Customers")
+    products = Source(catalog, "Products")
+    flow = Join(Join(orders, customers, "cust"), products, "prod")
+    return Workflow("nightly_orders", catalog, [Target(flow, "mart")])
+
+
+def nightly_data(seed: int) -> dict[str, Table]:
+    rng = random.Random(seed)
+    n = 1500
+    return {
+        "Orders": Table(
+            {
+                "cust": [rng.randint(1, 150) for _ in range(n)],
+                "prod": [rng.randint(1, 90) for _ in range(n)],
+                "oid": list(range(n)),
+            }
+        ),
+        # only a fifth of customers are active -> joining customers first wins
+        "Customers": Table(
+            {"cust": rng.sample(range(1, 151), 30), "seg": [1] * 30}
+        ),
+        "Products": Table(
+            {"prod": list(range(1, 91)), "cat": [p % 12 + 1 for p in range(90)]}
+        ),
+    }
+
+
+def main() -> None:
+    state_path = Path(tempfile.gettempdir()) / "repro_session_state.json"
+
+    # ---- night 1: a brand-new engine process -------------------------
+    session = EtlSession(StatisticsPipeline(build_workflow()))
+    record = session.run(nightly_data(seed=1))
+    print("night 1 (cold start)")
+    print(f"  executed: initial plan, cost {record.actual_plan_cost:.0f}")
+    print(f"  adopted:  {session.current_trees['B1']}")
+    session.save_state(state_path)
+    print(f"  state saved to {state_path}")
+
+    # ---- night 2: the process restarted; resume from disk ------------
+    resumed = EtlSession.resume(
+        StatisticsPipeline(build_workflow()), state_path, drift_threshold=0.25
+    )
+    record2 = resumed.run(nightly_data(seed=2))
+    print("\nnight 2 (resumed from disk)")
+    print(f"  executed: {record2.executed_trees['B1']}")
+    print(f"  cost {record2.actual_plan_cost:.0f}, drift {record2.drift:.2f}, "
+          f"re-optimized: {record2.reoptimized}")
+
+    state_path.unlink()
+
+
+if __name__ == "__main__":
+    main()

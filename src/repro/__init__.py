@@ -1,0 +1,75 @@
+"""repro -- essential statistics for cost-based ETL workflow optimization.
+
+A faithful, executable reproduction of *"Determining Essential Statistics
+for Cost Based Optimization of an ETL Workflow"* (EDBT 2014): given an ETL
+workflow that runs repeatedly, determine the cheapest set of statistics to
+observe during one run so that a cost-based optimizer can cost **every**
+alternative plan for all subsequent runs.
+
+Typical entry points:
+
+- build a workflow DAG with :class:`Catalog`, :class:`Source`,
+  :class:`Join`, :class:`Filter`, :class:`Transform`, :class:`Aggregate`,
+  :class:`Target` and wrap it in :class:`Workflow`;
+- run the whole Figure-2 loop with :class:`StatisticsPipeline` /
+  :class:`EtlSession`;
+- or drive the stages directly: :func:`analyze` (optimizable blocks),
+  :func:`generate_css` (Algorithm 1), :func:`build_problem` +
+  :func:`solve_ilp` / :func:`solve_greedy` (Section 5),
+  :class:`~repro.engine.instrumentation.TapSet` +
+  :class:`~repro.engine.executor.Executor` (instrumented runs), and
+  :class:`~repro.estimation.estimator.CardinalityEstimator` +
+  :class:`~repro.estimation.optimizer.PlanOptimizer` (Step 7).
+"""
+
+from repro.algebra.blocks import Block, BlockAnalysis, analyze
+from repro.algebra.expressions import RejectJoinSE, RejectSE, SubExpression
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateUDF,
+    Filter,
+    Join,
+    Materialize,
+    Predicate,
+    Project,
+    Source,
+    Target,
+    Transform,
+    UdfSpec,
+    Workflow,
+)
+from repro.algebra.schema import Catalog
+from repro.core.costs import CostModel
+from repro.core.css import CSS, CssCatalog
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.histogram import Histogram
+from repro.core.ilp import solve_ilp
+from repro.core.persistence import SessionState, load_statistics, save_statistics
+from repro.core.resource import ConstrainedSchedule, plan_constrained
+from repro.core.selection import SelectionResult, build_problem
+from repro.core.statistics import StatKind, Statistic, StatisticsStore
+from repro.engine.executor import Executor, WorkflowRun, execute_workflow
+from repro.engine.instrumentation import TapSet
+from repro.engine.table import Table
+from repro.estimation.estimator import CardinalityEstimator
+from repro.estimation.optimizer import PlanOptimizer, optimize_workflow
+from repro.framework.pipeline import PipelineReport, StatisticsPipeline
+from repro.framework.session import EtlSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate", "AggregateUDF", "analyze", "Block", "BlockAnalysis",
+    "build_problem", "CardinalityEstimator", "Catalog",
+    "ConstrainedSchedule", "CostModel", "CSS", "CssCatalog", "EtlSession",
+    "execute_workflow", "Executor", "Filter", "generate_css",
+    "GeneratorOptions", "Histogram", "Join", "Materialize",
+    "optimize_workflow", "PipelineReport", "plan_constrained",
+    "PlanOptimizer", "Predicate", "Project", "RejectJoinSE", "RejectSE",
+    "save_statistics", "SelectionResult", "SessionState", "load_statistics",
+    "solve_greedy", "solve_ilp", "Source", "StatKind",
+    "Statistic", "StatisticsPipeline", "StatisticsStore", "SubExpression",
+    "Table", "TapSet", "Target", "Transform", "UdfSpec", "Workflow",
+    "WorkflowRun",
+]

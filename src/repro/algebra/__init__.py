@@ -1,0 +1,31 @@
+"""Workflow algebra: schema, DAG operators, sub-expressions, plans, blocks."""
+
+from repro.algebra.blocks import BlockAnalysis, Block, BlockInput, analyze
+from repro.algebra.enumeration import JoinEdge, JoinGraph
+from repro.algebra.expressions import RejectJoinSE, RejectSE, SubExpression
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateUDF,
+    Filter,
+    Join,
+    Materialize,
+    Predicate,
+    Project,
+    Source,
+    Target,
+    Transform,
+    UdfSpec,
+    Workflow,
+    WorkflowError,
+)
+from repro.algebra.plans import JoinNode, JoinSplit, Leaf, PlanTree
+from repro.algebra.schema import Attribute, Catalog, ForeignKey, RelationSchema, SchemaError
+
+__all__ = [
+    "Aggregate", "AggregateUDF", "analyze", "Attribute", "Block",
+    "BlockAnalysis", "BlockInput", "Catalog", "Filter", "ForeignKey",
+    "Join", "JoinEdge", "JoinGraph", "JoinNode", "JoinSplit", "Leaf",
+    "Materialize", "PlanTree", "Predicate", "Project", "RejectJoinSE",
+    "RejectSE", "RelationSchema", "SchemaError", "Source", "SubExpression",
+    "Target", "Transform", "UdfSpec", "Workflow", "WorkflowError",
+]

@@ -1,0 +1,128 @@
+"""GraphViz DOT rendering for workflows, blocks and plan trees.
+
+Debugging and documentation aid: render the designer's DAG, the optimizable
+block decomposition or a join tree as ``dot`` source (pipe through
+``dot -Tsvg`` to visualize).  Pure string generation, no GraphViz
+dependency.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.blocks import BlockAnalysis
+from repro.algebra.operators import Join, Node, Source, Target, Workflow
+from repro.algebra.plans import JoinNode, Leaf, PlanTree
+
+
+def _esc(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def workflow_to_dot(workflow: Workflow) -> str:
+    """The designer's DAG: one node per operator, edges follow data flow."""
+    lines = [
+        "digraph workflow {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for node in workflow.nodes():
+        shape = "box"
+        if isinstance(node, Source):
+            shape = "cylinder"
+        elif isinstance(node, Target):
+            shape = "doubleoctagon"
+        elif isinstance(node, Join):
+            shape = "diamond"
+        lines.append(
+            f'  n{node.node_id} [label="{_esc(node.label)}", shape={shape}];'
+        )
+        for child in node.inputs:
+            lines.append(f"  n{child.node_id} -> n{node.node_id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_to_dot(tree: PlanTree, name: str = "plan") -> str:
+    """A join tree: leaves are block inputs, inner nodes are keyed joins."""
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=BT;",
+        '  node [fontname="Helvetica"];',
+    ]
+    counter = [0]
+
+    def visit(node: PlanTree) -> str:
+        node_id = f"p{counter[0]}"
+        counter[0] += 1
+        if isinstance(node, Leaf):
+            lines.append(f'  {node_id} [label="{_esc(node.name)}", shape=box];')
+            return node_id
+        label = "\\u22c8 " + ",".join(node.key)
+        lines.append(f'  {node_id} [label="{_esc(label)}", shape=ellipse];')
+        for child in (node.left, node.right):
+            child_id = visit(child)
+            lines.append(f"  {child_id} -> {node_id};")
+        return node_id
+
+    visit(tree)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def analysis_to_dot(analysis: BlockAnalysis) -> str:
+    """The block decomposition: clusters per block, boundary operators
+    between them."""
+    lines = [
+        "digraph blocks {",
+        "  rankdir=BT;",
+        "  compound=true;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for i, block in enumerate(analysis.blocks):
+        lines.append(f"  subgraph cluster_{i} {{")
+        pin = " (pinned)" if block.pinned else ""
+        lines.append(f'    label="{_esc(block.name + pin)}";')
+        for name in sorted(block.inputs):
+            lines.append(
+                f'    "{_esc(block.name)}:{_esc(name)}" '
+                f'[label="{_esc(name)}"];'
+            )
+        lines.append(
+            f'    "{_esc(block.output_name)}" '
+            f'[label="{_esc(block.output_name)}", shape=ellipse];'
+        )
+        for name in sorted(block.inputs):
+            lines.append(
+                f'    "{_esc(block.name)}:{_esc(name)}" -> '
+                f'"{_esc(block.output_name)}";'
+            )
+        lines.append("  }")
+    # wire block outputs / boundary ops to downstream inputs
+    feeds: dict[str, str] = {}
+    for block in analysis.blocks:
+        feeds[block.output_name] = block.output_name
+    for boundary in analysis.boundaries:
+        label = boundary.node.label
+        if boundary.output_name.startswith("target:"):
+            lines.append(
+                f'  "{_esc(boundary.output_name)}" '
+                f'[label="{_esc(label)}", shape=doubleoctagon];'
+            )
+        else:
+            lines.append(
+                f'  "{_esc(boundary.output_name)}" '
+                f'[label="{_esc(label)}", shape=hexagon];'
+            )
+        lines.append(
+            f'  "{_esc(boundary.input_name)}" -> "{_esc(boundary.output_name)}";'
+        )
+    for block in analysis.blocks:
+        for name, inp in sorted(block.inputs.items()):
+            if inp.base_name in feeds or any(
+                b.output_name == inp.base_name for b in analysis.boundaries
+            ):
+                lines.append(
+                    f'  "{_esc(inp.base_name)}" -> '
+                    f'"{_esc(block.name)}:{_esc(name)}";'
+                )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Sub-expressions (SEs): the logical results at intermediate plan stages.
+
+Section 3.1: *"a sub-expression (SE) logically denotes the result at an
+intermediate stage of the plan"*.  Within one optimizable block, an SE is
+fully identified by the subset of the block's inputs that have been joined,
+since unary operators (filters, projections, UDFs) are anchored to the input
+they apply to.
+
+Two extra SE forms exist only to support the paper's union-division method
+(Section 4.1.2, rules J4/J5):
+
+- :class:`RejectSE` -- ``rej(T_1, J_13, T_3)``, the rows of ``T_1`` rejected
+  by its join with ``T_3`` (written ``\\overline{T}_1^{J_13}`` in the paper).
+- :class:`RejectJoinSE` -- ``rej(T_1, J_13, T_3) join T_2``, the side join of
+  a reject link with another SE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Union
+
+
+@total_ordering
+@dataclass(frozen=True)
+class SubExpression:
+    """A join of a subset of block inputs.
+
+    ``relations`` holds input names; a singleton SE is a (possibly filtered /
+    transformed) base input, the full set is the block output.
+    """
+
+    relations: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise ValueError("a sub-expression must contain at least one relation")
+        if not isinstance(self.relations, frozenset):
+            object.__setattr__(self, "relations", frozenset(self.relations))
+
+    @classmethod
+    def of(cls, *relations: str) -> "SubExpression":
+        return cls(frozenset(relations))
+
+    @property
+    def is_base(self) -> bool:
+        return len(self.relations) == 1
+
+    @property
+    def base_name(self) -> str:
+        if not self.is_base:
+            raise ValueError(f"{self} is not a base sub-expression")
+        return next(iter(self.relations))
+
+    def union(self, other: "SubExpression") -> "SubExpression":
+        return SubExpression(self.relations | other.relations)
+
+    def contains(self, other: "SubExpression") -> bool:
+        return other.relations <= self.relations
+
+    def overlaps(self, other: "SubExpression") -> bool:
+        return bool(self.relations & other.relations)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def _sort_key(self) -> tuple:
+        return (len(self.relations), tuple(sorted(self.relations)))
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, SubExpression):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def __repr__(self) -> str:
+        return "SE(" + "*".join(sorted(self.relations)) + ")"
+
+
+@dataclass(frozen=True)
+class RejectSE:
+    """Rows of ``source`` rejected by its join with ``against`` on ``key``.
+
+    The paper writes this as ``\\overline{T}_i^{J_ij}``.  It is observable by
+    instrumenting (or adding) a reject link after the join in the initial
+    plan (Section 4.1.2).
+    """
+
+    source: SubExpression
+    key: str
+    against: SubExpression
+
+    def __repr__(self) -> str:
+        return f"Rej({self.source!r}, {self.key}, {self.against!r})"
+
+
+@dataclass(frozen=True)
+class RejectJoinSE:
+    """The side join ``reject join_{key} other`` used by rules J4/J5."""
+
+    reject: RejectSE
+    key: str
+    other: SubExpression
+
+    def __repr__(self) -> str:
+        return f"RejJoin({self.reject!r} |x|_{self.key} {self.other!r})"
+
+
+AnySE = Union[SubExpression, RejectSE, RejectJoinSE]
+
+
+def se_sort_key(se: AnySE) -> tuple:
+    """Stable ordering across the three SE flavours (for determinism)."""
+    if isinstance(se, SubExpression):
+        return (0, se._sort_key())
+    if isinstance(se, RejectSE):
+        return (1, se.source._sort_key(), se.key, se.against._sort_key())
+    if isinstance(se, RejectJoinSE):
+        return (2, se_sort_key(se.reject), se.key, se.other._sort_key())
+    raise TypeError(f"not a sub-expression: {se!r}")

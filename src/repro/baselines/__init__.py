@@ -1,0 +1,23 @@
+"""Baselines: pay-as-you-go, passive monitoring, independence estimation."""
+
+from repro.baselines.explore import ExploreExploitSession, ExplorationStep
+from repro.baselines.independence import BaseProfile, IndependenceEstimator, profile_inputs
+from repro.baselines.passive import PassiveCoverage, PassiveMonitor
+from repro.baselines.payg import (
+    BlockSchedule,
+    CoverageScheduler,
+    coverable_ses,
+    min_executions,
+    semantic_lower_bound,
+    workflow_executions,
+    workflow_lower_bound,
+    workflow_schedule,
+)
+
+__all__ = [
+    "BaseProfile", "BlockSchedule", "coverable_ses", "CoverageScheduler",
+    "ExplorationStep", "ExploreExploitSession",
+    "IndependenceEstimator", "min_executions", "PassiveCoverage",
+    "PassiveMonitor", "profile_inputs", "semantic_lower_bound",
+    "workflow_executions", "workflow_lower_bound", "workflow_schedule",
+]

@@ -1,0 +1,60 @@
+"""Passive monitoring baseline (LEO-style, [20]).
+
+Passive monitoring observes the actual cardinalities at the points of the
+*executed* plan only -- "a quick, easy-to-implement and low-overhead method
+... to get the actual cardinalities of SEs which are part of the plan being
+executed" (Section 7.3).  It never alters the plan, so SEs outside the
+current plan stay unknown and the optimizer cannot cost re-orderings that
+use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.blocks import BlockAnalysis
+from repro.algebra.expressions import AnySE, SubExpression
+from repro.engine.executor import WorkflowRun
+
+
+@dataclass
+class PassiveCoverage:
+    """What one passive run revealed vs what the optimizer needs."""
+
+    known: dict[AnySE, int]
+    needed: list[SubExpression]
+
+    @property
+    def covered(self) -> list[SubExpression]:
+        return [se for se in self.needed if se in self.known]
+
+    @property
+    def uncovered(self) -> list[SubExpression]:
+        return [se for se in self.needed if se not in self.known]
+
+    @property
+    def fraction(self) -> float:
+        if not self.needed:
+            return 1.0
+        return len(self.covered) / len(self.needed)
+
+
+class PassiveMonitor:
+    """Accumulates plan-point cardinalities across runs."""
+
+    def __init__(self, analysis: BlockAnalysis):
+        self.analysis = analysis
+        self.known: dict[AnySE, int] = {}
+
+    def absorb(self, run: WorkflowRun) -> None:
+        """Record every cardinality the executed plan exposed."""
+        self.known.update(run.se_sizes)
+
+    def coverage(self) -> PassiveCoverage:
+        needed: list[SubExpression] = []
+        for block in self.analysis.blocks:
+            needed.extend(block.universe())
+        return PassiveCoverage(known=dict(self.known), needed=needed)
+
+    def cardinality(self, se: AnySE) -> int | None:
+        return self.known.get(se)

@@ -1,0 +1,277 @@
+"""The pay-as-you-go baseline (Section 7.3, comparing against [6]).
+
+Pay-as-you-go observes only *trivial CSSs* -- plain cardinality counters at
+the points of the executed plan -- and repeats the query with modified
+plans until every SE has been covered by some execution.
+
+This module provides:
+
+- ``min_executions(n)`` -- the paper's lower bound for an n-way join:
+  ``ceil((2^n - (n+2)) / (n-2))`` (Section 7.3; n <= 2 needs one run);
+- ``semantic_lower_bound(block)`` -- the same bound computed from the SEs
+  the optimizer actually generates (connected subsets only, FK-derivable
+  SEs excluded), the "semantics can be exploited" refinement;
+- :class:`CoverageScheduler` -- a greedy laminar-packing search for a
+  sequence of plan re-orderings covering all SEs (an upper bound on the
+  executions needed, like the hand-built schedules of Figure 12);
+- ``workflow_schedule`` -- combines per-block schedules (blocks re-order
+  independently, so executions run them in parallel).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.algebra.blocks import Block, BlockAnalysis
+from repro.algebra.expressions import SubExpression
+from repro.algebra.plans import JoinNode, Leaf, PlanTree, internal_ses
+from repro.algebra.schema import Catalog
+
+
+def min_executions(n: int) -> int:
+    """Lower bound on executions to cover all SEs of an n-way join.
+
+    ``2^n - (n + 2)`` SEs need covering (all joins except base relations
+    and the final output); each plan covers ``n - 2`` of them.
+    """
+    if n <= 2:
+        return 1
+    return math.ceil((2**n - (n + 2)) / (n - 2))
+
+
+def all_subset_ses(block: Block) -> list[SubExpression]:
+    """Every proper subset of 2..n-1 inputs, cross products included.
+
+    This is the semantics-free SE universe behind the paper's
+    ``min_executions`` formula: 2^n - (n+2) SEs for an n-way join.
+    """
+    names = sorted(block.inputs)
+    out: list[SubExpression] = []
+    for r in range(2, len(names)):
+        for combo in itertools.combinations(names, r):
+            out.append(SubExpression(frozenset(combo)))
+    return out
+
+
+def coverable_ses(
+    block: Block,
+    catalog: Catalog | None = None,
+    use_fk: bool = False,
+    semantics: bool = True,
+) -> list[SubExpression]:
+    """The SEs a schedule must cover: proper joins of 2..n-1 inputs.
+
+    ``semantics=False`` ignores the join graph entirely (all subsets, the
+    paper's Figure 12 setting).  With ``semantics=True`` only connected
+    subsets count, and ``use_fk`` additionally drops SEs whose cardinality
+    is derivable from FK-lookup metadata ("semantics of the query ... can
+    be exploited", Section 7.3).
+    """
+    if not semantics:
+        return all_subset_ses(block)
+    out = []
+    for se in block.join_ses():
+        if len(se) <= 1 or len(se) == block.n_way:
+            continue
+        if use_fk and catalog is not None and _fk_derivable(block, catalog, se):
+            continue
+        out.append(se)
+    return out
+
+
+def _fk_derivable(block: Block, catalog: Catalog, se: SubExpression) -> bool:
+    for parent_name in se.relations:
+        parent = block.inputs.get(parent_name)
+        if parent is None or parent.steps:
+            continue
+        rest = se.relations - {parent_name}
+        if not rest or not block.graph.is_connected(rest):
+            continue
+        crossing = block.graph.crossing_key(frozenset({parent_name}), rest)
+        if len(crossing) != 1:
+            continue
+        attr = crossing[0]
+        if any(
+            catalog.is_lookup_join(block.inputs[c].base_name, parent.base_name, attr)
+            for c in rest
+            if c in block.inputs and attr in block.inputs[c].out_attrs
+        ):
+            return True
+    return False
+
+
+def semantic_lower_bound(block: Block, catalog: Catalog | None = None,
+                         use_fk: bool = False) -> int:
+    """Lower bound using the actual SE set (connected subsets only)."""
+    need = len(coverable_ses(block, catalog, use_fk))
+    per_plan = max(block.n_way - 2, 1)
+    if need == 0:
+        return 1
+    return math.ceil(need / per_plan)
+
+
+@dataclass
+class BlockSchedule:
+    """A coverage schedule for one block."""
+
+    block: Block
+    trees: list[PlanTree]
+    covered: set[SubExpression] = field(default_factory=set)
+
+    @property
+    def executions(self) -> int:
+        return max(len(self.trees), 1)
+
+
+class CoverageScheduler:
+    """Greedy laminar-packing schedule search.
+
+    Each round selects a laminar family of still-uncovered SEs (mutually
+    nested or disjoint connected subsets -- exactly the families a join
+    tree can realize) and builds a plan whose internal nodes include them.
+    """
+
+    def __init__(
+        self,
+        block: Block,
+        targets: list[SubExpression] | None = None,
+        allow_cross_products: bool = False,
+    ):
+        self.block = block
+        self.allow_cross_products = allow_cross_products
+        self.targets = (
+            list(targets)
+            if targets is not None
+            else coverable_ses(block, semantics=not allow_cross_products)
+        )
+
+    def schedule(self) -> BlockSchedule:
+        uncovered = set(self.targets)
+        trees: list[PlanTree] = []
+        covered: set[SubExpression] = set()
+        if self.block.n_way <= 2 or not uncovered:
+            return BlockSchedule(
+                self.block, [self.block.initial_tree], set(self.targets)
+            )
+        while uncovered:
+            family = self._laminar_family(uncovered)
+            tree = self._tree_with(family)
+            gained = set(internal_ses(tree)) & uncovered
+            if not gained:  # pragma: no cover - family always gains
+                raise RuntimeError("coverage round made no progress")
+            uncovered -= gained
+            covered |= gained
+            trees.append(tree)
+        return BlockSchedule(self.block, trees, covered)
+
+    # ------------------------------------------------------------------
+    def _laminar_family(
+        self, uncovered: set[SubExpression]
+    ) -> list[SubExpression]:
+        """Pick up to n-2 mutually laminar uncovered SEs (largest first)."""
+        limit = self.block.n_way - 2
+        family: list[SubExpression] = []
+        for se in sorted(uncovered, key=lambda s: (-len(s), sorted(s.relations))):
+            if len(family) >= limit:
+                break
+            if all(self._laminar(se, other) for other in family):
+                family.append(se)
+        return family
+
+    @staticmethod
+    def _laminar(a: SubExpression, b: SubExpression) -> bool:
+        inter = a.relations & b.relations
+        return not inter or a.relations <= b.relations or b.relations <= a.relations
+
+    def _tree_with(self, family: list[SubExpression]) -> PlanTree:
+        """Build a join tree whose internal SEs include the family."""
+        return self._build(frozenset(self.block.inputs), family)
+
+    def _build(
+        self, names: frozenset[str], family: list[SubExpression]
+    ) -> PlanTree:
+        graph = self.block.graph
+        inner = [se for se in family if se.relations < names]
+        maximal = [
+            se
+            for se in inner
+            if not any(
+                se.relations < other.relations for other in inner
+            )
+        ]
+        components: list[PlanTree] = []
+        used: set[str] = set()
+        for se in sorted(maximal, key=lambda s: (-len(s), sorted(s.relations))):
+            if se.relations & used:
+                continue  # overlapping maximal sets cannot both be nodes
+            nested = [o for o in inner if o.relations < se.relations]
+            components.append(self._build(se.relations, nested))
+            used |= se.relations
+        for name in sorted(names - used):
+            components.append(Leaf(name))
+        # merge components along crossing edges until one tree remains
+        while len(components) > 1:
+            merged = False
+            for i in range(len(components)):
+                for j in range(i + 1, len(components)):
+                    key = graph.crossing_key(
+                        components[i].se.relations, components[j].se.relations
+                    )
+                    if key:
+                        node = JoinNode(components[i], components[j], key)
+                        components = [
+                            c
+                            for k, c in enumerate(components)
+                            if k not in (i, j)
+                        ] + [node]
+                        merged = True
+                        break
+                if merged:
+                    break
+            if merged:
+                continue
+            if self.allow_cross_products:
+                # semantics-free mode: a cartesian product (empty key)
+                node = JoinNode(components[0], components[1], ())
+                components = components[2:] + [node]
+            else:  # pragma: no cover - connected graphs always merge
+                raise RuntimeError("disconnected components in coverage build")
+        return components[0]
+
+
+def workflow_schedule(
+    analysis: BlockAnalysis, use_fk: bool = False, semantics: bool = True
+) -> dict[str, BlockSchedule]:
+    """Coverage schedules for every block of a workflow."""
+    catalog = analysis.workflow.catalog
+    out: dict[str, BlockSchedule] = {}
+    for block in analysis.blocks:
+        targets = coverable_ses(block, catalog, use_fk, semantics=semantics)
+        scheduler = CoverageScheduler(
+            block, targets, allow_cross_products=not semantics
+        )
+        out[block.name] = scheduler.schedule()
+    return out
+
+
+def workflow_executions(
+    analysis: BlockAnalysis, use_fk: bool = False, semantics: bool = True
+) -> int:
+    """Executions needed by pay-as-you-go for the whole workflow.
+
+    Blocks re-order independently, so one execution advances every block's
+    schedule at once; the workflow needs the max over blocks.
+    ``semantics=False`` is the paper's Figure 12 setting (all 2^n subsets
+    must be covered, cross-product plans allowed).
+    """
+    schedules = workflow_schedule(analysis, use_fk, semantics=semantics)
+    return max((s.executions for s in schedules.values()), default=1)
+
+
+def workflow_lower_bound(analysis: BlockAnalysis) -> int:
+    """The paper's formula applied to the largest block."""
+    return max(
+        (min_executions(block.n_way) for block in analysis.blocks), default=1
+    )

@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+Entry points (``python -m repro.cli <command>`` or the ``repro-etl``
+console script):
+
+- ``analyze <workflow.json|.xml>`` -- print the optimizable-block
+  decomposition of a serialized workflow;
+- ``identify <workflow.json|.xml>`` -- run statistics identification
+  (Algorithm 1 + the Section 5 selection) and print the chosen set;
+- ``suite [--number N]`` -- describe the built-in 30-workflow benchmark;
+- ``experiments <data|fig9|fig10|fig11|fig12>`` -- regenerate a Section 7
+  table/figure and print it;
+- ``export --number N --format json|xml`` -- dump a suite workflow as a
+  document other tools (or the ``analyze``/``identify`` commands) consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.algebra.blocks import analyze
+from repro.algebra.serialize import (
+    workflow_from_json,
+    workflow_from_xml,
+    workflow_to_json,
+    workflow_to_xml,
+)
+from repro.core.costs import CostModel
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.ilp import solve_ilp
+from repro.core.selection import build_problem
+from repro.workloads import case, suite
+
+
+def _load_workflow(path: str):
+    text = Path(path).read_text()
+    if path.endswith(".xml"):
+        return workflow_from_xml(text)
+    return workflow_from_json(text)
+
+
+def _cmd_analyze(args) -> int:
+    workflow = _load_workflow(args.workflow)
+    analysis = analyze(workflow)
+    print(analysis.describe())
+    for block in analysis.blocks:
+        universe = block.universe()
+        print(
+            f"\n{block.name}: {len(universe)} sub-expressions, "
+            f"{block.graph.count_trees()} join trees"
+        )
+        for se in universe:
+            print(f"  {se!r}")
+    return 0
+
+
+def _cmd_identify(args) -> int:
+    workflow = _load_workflow(args.workflow)
+    analysis = analyze(workflow)
+    options = GeneratorOptions(
+        union_division=not args.no_union_division,
+        fk_rules=not args.no_fk,
+    )
+    catalog = generate_css(analysis, options)
+    counts = catalog.counts()
+    print(
+        f"identified {counts['statistics']} statistics, "
+        f"{counts['css']} candidate statistics sets "
+        f"({counts['required']} cardinalities to cover)"
+    )
+    cost_model = CostModel(workflow.catalog)
+    if args.budget is not None:
+        from repro.core.resource import plan_constrained
+
+        schedule = plan_constrained(
+            analysis, catalog, cost_model, budget=args.budget,
+            solver=args.solver,
+        )
+        print(
+            f"memory budget {args.budget:g}: {schedule.executions} "
+            f"execution(s), peak memory {schedule.peak_memory:g}"
+        )
+        for i, step in enumerate(schedule.steps, start=1):
+            print(f"  run {i}: observe {len(step.observe)} statistics "
+                  f"({step.memory:g} units)")
+            for name, tree in sorted(step.trees.items()):
+                print(f"    {name}: {tree}")
+        return 0
+    problem = build_problem(catalog, cost_model)
+    if args.solver == "greedy":
+        result = solve_greedy(problem)
+    else:
+        result = solve_ilp(problem, time_limit=args.time_limit)
+    print(result.describe())
+    if args.verbose:
+        print()
+        print(catalog.describe())
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    if args.number is not None:
+        wfcase = case(args.number)
+        workflow = wfcase.build()
+        print(f"wf{wfcase.number:02d} {wfcase.name}: {wfcase.description}")
+        print(workflow.describe())
+        print()
+        print(analyze(workflow).describe())
+        return 0
+    for wfcase in suite():
+        analysis = analyze(wfcase.build())
+        arities = "/".join(str(b.n_way) for b in analysis.blocks)
+        print(
+            f"wf{wfcase.number:02d} {wfcase.name:24s} "
+            f"blocks={len(analysis.blocks)} arities={arities:8s} "
+            f"{wfcase.description}"
+        )
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import (
+        SuiteContext,
+        data_characteristics_rows,
+        fig9_rows,
+        fig10_rows,
+        fig11_rows,
+        fig12_rows,
+        format_rows,
+    )
+
+    if args.figure == "data":
+        header, rows = data_characteristics_rows()
+    else:
+        context = SuiteContext.build(args.workflows)
+        if args.figure == "fig9":
+            header, rows = fig9_rows(context)
+        elif args.figure == "fig10":
+            header, rows = fig10_rows(context, time_limit=args.time_limit)
+        elif args.figure == "fig11":
+            header, rows = fig11_rows(context, time_limit=args.time_limit)
+        else:
+            header, rows = fig12_rows(context)
+    print(format_rows(header, rows))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    workflow = case(args.number).build()
+    if args.format == "xml":
+        print(workflow_to_xml(workflow))
+    else:
+        print(workflow_to_json(workflow))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-etl argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-etl",
+        description="Essential-statistics identification for ETL workflows "
+        "(EDBT 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="decompose a workflow into blocks")
+    p.add_argument("workflow", help="path to a .json or .xml workflow export")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("identify", help="select the optimal statistics set")
+    p.add_argument("workflow")
+    p.add_argument("--solver", choices=("ilp", "greedy"), default="ilp")
+    p.add_argument("--time-limit", type=float, default=30.0)
+    p.add_argument("--no-union-division", action="store_true")
+    p.add_argument("--no-fk", action="store_true")
+    p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="observation-memory budget; schedules multiple executions "
+        "when the optimum does not fit (Section 6.1)",
+    )
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_identify)
+
+    p = sub.add_parser("suite", help="describe the 30-workflow benchmark")
+    p.add_argument("--number", type=int, default=None)
+    p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser("experiments", help="regenerate a Section 7 figure")
+    p.add_argument(
+        "figure", choices=("data", "fig9", "fig10", "fig11", "fig12")
+    )
+    p.add_argument("--time-limit", type=float, default=15.0)
+    p.add_argument(
+        "--workflows",
+        type=int,
+        nargs="*",
+        default=None,
+        help="restrict to these workflow numbers",
+    )
+    p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("export", help="dump a suite workflow as json/xml")
+    p.add_argument("--number", type=int, required=True)
+    p.add_argument("--format", choices=("json", "xml"), default="json")
+    p.set_defaults(fn=_cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The paper's core contribution: statistics, CSS rules, selection."""
+
+from repro.core.histogram import Histogram, HistogramError
+from repro.core.statistics import StatKind, Statistic, StatisticsStore
+
+__all__ = ["Histogram", "HistogramError", "StatKind", "Statistic", "StatisticsStore"]

@@ -1,0 +1,290 @@
+"""Bucketized (approximate) histograms -- the Section 8.1 extension.
+
+The paper's main development assumes exact one-bucket-per-value histograms
+(Section 3.1) and leaves estimation error modelling as future work:
+*"Generally frequency histograms are bucketized for a range of values, and
+thus the selectivity estimates computed using them introduce error."*
+
+This module provides that extension: equi-width bucketization of exact
+histograms, join-cardinality estimation under the standard
+uniform-within-bucket assumption, and error measurement utilities used by
+the space/error trade-off ablation (Section 8.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.histogram import Histogram, HistogramError
+
+
+@dataclass(frozen=True)
+class BucketizedHistogram:
+    """An equi-width single-attribute histogram.
+
+    Each bucket stores the total frequency and the number of distinct
+    values present; estimation assumes values spread uniformly within the
+    bucket (the textbook model).
+    """
+
+    attr: str
+    width: int
+    counts: dict[int, float]
+    distincts: dict[int, int]
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise HistogramError("bucket width must be positive")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_histogram(cls, hist: Histogram, buckets: int) -> "BucketizedHistogram":
+        """Compress an exact single-attribute histogram into ``buckets``."""
+        if not hist.is_single:
+            raise HistogramError("bucketization requires a single attribute")
+        values = [key[0] for key in hist.counts]
+        if not values:
+            return cls(hist.attrs[0], 1, {}, {})
+        if not all(isinstance(v, (int, float)) for v in values):
+            raise HistogramError("bucketization requires numeric values")
+        lo, hi = min(values), max(values)
+        span = max(hi - lo + 1, 1)
+        width = max(math.ceil(span / max(buckets, 1)), 1)
+        counts: dict[int, float] = {}
+        distincts: dict[int, int] = {}
+        for key, freq in hist.counts.items():
+            b = int((key[0] - lo) // width)
+            counts[b] = counts.get(b, 0) + freq
+            distincts[b] = distincts.get(b, 0) + 1
+        return cls(hist.attrs[0], width, counts, distincts)
+
+    # ------------------------------------------------------------------
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+    def num_buckets(self) -> int:
+        return len(self.counts)
+
+    def memory_units(self) -> int:
+        """Two integers per bucket (frequency + distinct count)."""
+        return 2 * len(self.counts)
+
+    def estimate_join(self, other: "BucketizedHistogram") -> float:
+        """Estimated join cardinality under uniform-within-bucket spread.
+
+        For aligned buckets: ``f1 * f2 / max(d1, d2)`` -- each of the more
+        numerous side's values matches the per-value frequency of the other.
+        """
+        if self.attr != other.attr:
+            raise HistogramError(
+                f"attribute mismatch: {self.attr} vs {other.attr}"
+            )
+        if self.width != other.width:
+            raise HistogramError("bucket widths must match for estimation")
+        total = 0.0
+        for b, f1 in self.counts.items():
+            f2 = other.counts.get(b)
+            if not f2:
+                continue
+            d = max(self.distincts[b], other.distincts[b])
+            total += f1 * f2 / d
+        return total
+
+
+def join_estimation_error(
+    h1: Histogram, h2: Histogram, buckets: int
+) -> tuple[float, float, float]:
+    """(exact, estimated, relative error) of a join estimate at a budget.
+
+    Bucketizes both inputs to ``buckets`` buckets with a shared width and
+    compares the approximate dot product against the exact one.
+    """
+    exact = h1.dot(h2)
+    values = [key[0] for key in h1.counts] + [key[0] for key in h2.counts]
+    if not values:
+        return exact, 0.0, 0.0
+    lo, hi = min(values), max(values)
+    width = max(math.ceil((hi - lo + 1) / max(buckets, 1)), 1)
+    b1 = _rebucket(h1, lo, width)
+    b2 = _rebucket(h2, lo, width)
+    estimated = b1.estimate_join(b2)
+    if exact == 0:
+        rel = 0.0 if estimated == 0 else math.inf
+    else:
+        rel = abs(estimated - exact) / exact
+    return exact, estimated, rel
+
+
+def _rebucket(hist: Histogram, lo, width: int) -> BucketizedHistogram:
+    """Bucketize with shared origin/width so both sides' buckets align."""
+    counts: dict[int, float] = {}
+    distincts: dict[int, int] = {}
+    for key, freq in hist.counts.items():
+        b = int((key[0] - lo) // width)
+        counts[b] = counts.get(b, 0) + freq
+        distincts[b] = distincts.get(b, 0) + 1
+    return BucketizedHistogram(hist.attrs[0], width, counts, distincts)
+
+
+# ---------------------------------------------------------------------------
+# equi-depth and end-biased variants
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EquiDepthHistogram:
+    """Equi-depth buckets: boundaries chosen so each holds ~equal mass.
+
+    The standard production alternative to equi-width: skewed heads get
+    narrow buckets, long tails get wide ones.  ``bounds[i] <= v < bounds[i+1]``
+    defines bucket ``i``; per-bucket frequency and distinct counts drive the
+    same uniform-within-bucket estimates.
+    """
+
+    attr: str
+    bounds: tuple  # len(buckets) + 1 ascending boundaries
+    counts: tuple[float, ...]
+    distincts: tuple[int, ...]
+
+    @classmethod
+    def from_histogram(cls, hist: Histogram, buckets: int) -> "EquiDepthHistogram":
+        if not hist.is_single:
+            raise HistogramError("bucketization requires a single attribute")
+        items = sorted((key[0], freq) for key, freq in hist.counts.items())
+        if not items:
+            return cls(hist.attrs[0], (0, 1), (0.0,), (0,))
+        total = sum(f for _v, f in items)
+        target = total / max(buckets, 1)
+        bounds = [items[0][0]]
+        counts: list[float] = []
+        distincts: list[int] = []
+        acc = 0.0
+        dv = 0
+        for value, freq in items:
+            acc += freq
+            dv += 1
+            if acc >= target and len(counts) < buckets - 1:
+                bounds.append(value + 1)
+                counts.append(acc)
+                distincts.append(dv)
+                acc = 0.0
+                dv = 0
+        bounds.append(items[-1][0] + 1)
+        counts.append(acc)
+        distincts.append(dv)
+        return cls(hist.attrs[0], tuple(bounds), tuple(counts), tuple(distincts))
+
+    def total(self) -> float:
+        return sum(self.counts)
+
+    def num_buckets(self) -> int:
+        return len(self.counts)
+
+    def memory_units(self) -> int:
+        """Boundary + frequency + distinct count per bucket."""
+        return 3 * len(self.counts)
+
+    def estimate_frequency(self, value) -> float:
+        """Uniform-within-bucket estimate of one value's frequency."""
+        import bisect
+
+        idx = bisect.bisect_right(self.bounds, value) - 1
+        if idx < 0 or idx >= len(self.counts):
+            return 0.0
+        dv = max(self.distincts[idx], 1)
+        return self.counts[idx] / dv
+
+    def estimate_join(self, exact_other: Histogram) -> float:
+        """Join estimate against an exact histogram (the asymmetric case
+        where one side's catalog is approximate)."""
+        return sum(
+            self.estimate_frequency(key[0]) * freq
+            for key, freq in exact_other.counts.items()
+        )
+
+
+@dataclass(frozen=True)
+class EndBiasedHistogram:
+    """End-biased (top-k) histogram: exact counts for the k most frequent
+    values, uniform-within-rest for everything else.
+
+    The right compression for Zipfian data -- the head carries most of the
+    join mass, so keeping it exact collapses the error.
+    """
+
+    attr: str
+    exact: dict
+    rest_count: float
+    rest_distinct: int
+
+    @classmethod
+    def from_histogram(cls, hist: Histogram, k: int) -> "EndBiasedHistogram":
+        if not hist.is_single:
+            raise HistogramError("bucketization requires a single attribute")
+        items = sorted(
+            ((key[0], freq) for key, freq in hist.counts.items()),
+            key=lambda kv: (-kv[1], repr(kv[0])),
+        )
+        head = dict(items[:k])
+        tail = items[k:]
+        return cls(
+            hist.attrs[0],
+            head,
+            sum(f for _v, f in tail),
+            len(tail),
+        )
+
+    def total(self) -> float:
+        return sum(self.exact.values()) + self.rest_count
+
+    def memory_units(self) -> int:
+        """Value + frequency per head entry, plus the two tail summaries."""
+        return 2 * len(self.exact) + 2
+
+    def estimate_frequency(self, value) -> float:
+        if value in self.exact:
+            return self.exact[value]
+        if self.rest_distinct == 0:
+            return 0.0
+        return self.rest_count / self.rest_distinct
+
+    def estimate_join(self, exact_other: Histogram) -> float:
+        return sum(
+            self.estimate_frequency(key[0]) * freq
+            for key, freq in exact_other.counts.items()
+        )
+
+
+def compare_compressions(
+    h1: Histogram, h2: Histogram, memory_budget: int
+) -> dict[str, float]:
+    """Relative join-estimate error of each compression at a memory budget.
+
+    ``memory_budget`` is in integers (the Section 5.4 unit); each variant
+    sizes itself to fit.  Returns {'equi_width': err, 'equi_depth': err,
+    'end_biased': err} for the join of ``h1`` (compressed) with ``h2``
+    (exact) -- the asymmetric setting where one side's statistics come from
+    a space-constrained catalog.
+    """
+    exact = h1.dot(h2)
+
+    def rel(estimate: float) -> float:
+        if exact == 0:
+            return 0.0 if estimate == 0 else math.inf
+        return abs(estimate - exact) / exact
+
+    width_buckets = max(memory_budget // 2, 1)
+    _x, ew_est, ew_err = join_estimation_error(h1, h2, width_buckets)
+
+    depth = EquiDepthHistogram.from_histogram(
+        h1, max(memory_budget // 3, 1)
+    )
+    eb = EndBiasedHistogram.from_histogram(
+        h1, max((memory_budget - 2) // 2, 0)
+    )
+    return {
+        "equi_width": ew_err,
+        "equi_depth": rel(depth.estimate_join(h2)),
+        "end_biased": rel(eb.estimate_join(h2)),
+    }

@@ -1,0 +1,253 @@
+"""Error-aware statistics selection -- the Section 8 extension.
+
+The main framework assumes exact histograms; Section 8.1 observes that real
+engines bucketize, so every statistic carries an estimation error, and "the
+optimization function needs to consider even the *allowed error* along with
+the *memory constraints*".  Section 8.2 adds the resulting space/error
+trade-off.
+
+This module implements that extension on top of the exact machinery:
+
+- every observable histogram statistic gets a ladder of *resolutions*
+  (fractions of its exact bucket count).  Resolution 1.0 is exact; coarser
+  levels cost proportionally less memory and carry an error coefficient
+  ``err(r) = skew * (1 - r)`` -- the standard first-order model where the
+  estimate degrades linearly as buckets merge values of unequal frequency;
+- errors propagate through the chosen CSS derivations: a computed
+  statistic's error is (an upper bound on) the sum of its inputs' errors,
+  the usual relative-error composition for products/dots;
+- :class:`ErrorAwareSelector` starts from the exact optimum and greedily
+  coarsens the histogram with the best memory-saving per unit of error
+  while every required cardinality stays within the allowed error.
+
+The companion bench (``bench_ablation_error_aware``) sweeps the error
+budget and traces the memory/error frontier; ``measure_errors`` checks the
+model against actual bucketized estimates on executed data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.costs import CostModel
+from repro.core.css import CssCatalog
+from repro.core.selection import SelectionProblem, SelectionResult
+from repro.core.statistics import StatisticsStore, StatKind, Statistic
+
+#: default resolution ladder (fraction of exact bucket count)
+RESOLUTIONS = (1.0, 0.9, 0.75, 0.5, 0.25, 0.1, 0.05)
+
+
+@dataclass(frozen=True)
+class ResolutionChoice:
+    """One statistic's chosen resolution."""
+
+    stat: Statistic
+    resolution: float
+    memory: float
+    error: float
+
+
+@dataclass
+class ErrorAwareResult:
+    """Outcome of error-aware coarsening."""
+
+    base: SelectionResult
+    choices: dict[Statistic, ResolutionChoice] = field(default_factory=dict)
+    error_budget: float = 0.0
+
+    @property
+    def total_memory(self) -> float:
+        return sum(c.memory for c in self.choices.values())
+
+    @property
+    def exact_memory(self) -> float:
+        return self.base.total_cost
+
+    def projected_error(self, stat: Statistic, catalog: CssCatalog) -> float:
+        """Upper bound on one statistic's relative error under the chosen
+        resolutions."""
+        return _propagated_error(
+            stat, {s: c.error for s, c in self.choices.items()}, catalog, {}
+        )
+
+    def worst_required_error(self, catalog: CssCatalog) -> float:
+        errors = {s: c.error for s, c in self.choices.items()}
+        memo: dict[Statistic, float] = {}
+        return max(
+            (_propagated_error(s, errors, catalog, memo) for s in catalog.required),
+            default=0.0,
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"error-aware selection: budget={self.error_budget:g} "
+            f"memory {self.exact_memory:g} -> {self.total_memory:g}"
+        ]
+        for choice in sorted(
+            self.choices.values(), key=lambda c: c.stat.sort_key()
+        ):
+            if choice.resolution < 1.0:
+                lines.append(
+                    f"  {choice.stat!r}: resolution {choice.resolution:g} "
+                    f"(mem {choice.memory:g}, err {choice.error:.3f})"
+                )
+        return "\n".join(lines)
+
+
+def _propagated_error(
+    stat: Statistic,
+    leaf_errors: dict[Statistic, float],
+    catalog: CssCatalog,
+    memo: dict[Statistic, float],
+) -> float:
+    """Upper bound on a statistic's relative error under the chosen
+    resolutions: observed -> its ladder error; derived -> the cheapest CSS's
+    summed input errors (first-order composition)."""
+    if stat in memo:
+        return memo[stat]
+    memo[stat] = float("inf")  # cycle guard: a cycle cannot reduce error
+    best = leaf_errors.get(stat, None)
+    for css in catalog.css_for(stat):
+        if not all(
+            s in leaf_errors or catalog.css_for(s) for s in css.inputs
+        ):
+            continue
+        total = 0.0
+        for member in css.inputs:
+            total += _propagated_error(member, leaf_errors, catalog, memo)
+            if total == float("inf"):
+                break
+        if best is None or total < best:
+            best = total
+    result = best if best is not None else float("inf")
+    memo[stat] = result
+    return result
+
+
+class ErrorAwareSelector:
+    """Greedy coarsening of an exact selection under an error budget."""
+
+    def __init__(
+        self,
+        catalog: CssCatalog,
+        problem: SelectionProblem,
+        base: SelectionResult,
+        cost_model: CostModel,
+        skew: float = 0.5,
+        resolutions: tuple[float, ...] = RESOLUTIONS,
+    ):
+        self.catalog = catalog
+        self.problem = problem
+        self.base = base
+        self.cost_model = cost_model
+        self.skew = skew
+        self.resolutions = tuple(sorted(resolutions, reverse=True))
+
+    def _ladder(self, stat: Statistic) -> list[tuple[float, float, float]]:
+        """(resolution, memory, error) options for one observed statistic."""
+        full = self.cost_model.cost(stat)
+        if stat.kind is not StatKind.HISTOGRAM or full <= 2:
+            return [(1.0, full, 0.0)]
+        out = []
+        for r in self.resolutions:
+            memory = max(full * r, 2.0)
+            error = self.skew * (1.0 - r)
+            out.append((r, memory, error))
+        return out
+
+    def select(self, error_budget: float) -> ErrorAwareResult:
+        choices: dict[Statistic, ResolutionChoice] = {}
+        for stat in self.base.observed:
+            r, memory, error = self._ladder(stat)[0]
+            choices[stat] = ResolutionChoice(stat, r, memory, error)
+
+        result = ErrorAwareResult(
+            base=self.base, choices=choices, error_budget=error_budget
+        )
+
+        improved = True
+        while improved:
+            improved = False
+            best_move: tuple[float, Statistic, tuple[float, float, float]] | None = None
+            for stat, current in choices.items():
+                for option in self._ladder(stat):
+                    r, memory, error = option
+                    if r >= current.resolution:
+                        continue
+                    saving = current.memory - memory
+                    if saving <= 0:
+                        continue
+                    # tentatively apply and check the budget
+                    choices[stat] = ResolutionChoice(stat, r, memory, error)
+                    worst = result.worst_required_error(self.catalog)
+                    choices[stat] = current
+                    if worst > error_budget:
+                        continue
+                    added_error = error - current.error
+                    score = saving / (added_error + 1e-9)
+                    if best_move is None or score > best_move[0]:
+                        best_move = (score, stat, option)
+            if best_move is not None:
+                _score, stat, (r, memory, error) = best_move
+                choices[stat] = ResolutionChoice(stat, r, memory, error)
+                improved = True
+        return result
+
+
+def measure_errors(
+    result: ErrorAwareResult, observed: "StatisticsStore"
+) -> dict[Statistic, float]:
+    """Measure the actual error each coarsening would introduce.
+
+    For every coarsened single-attribute histogram whose exact version was
+    observed, bucketize it to the chosen resolution and compute the mean
+    relative frequency error -- a ground-truth check on the linear model
+    ``err(r) = skew * (1 - r)``.
+    """
+    from repro.core.bucketized import BucketizedHistogram
+    from repro.core.histogram import Histogram
+
+    measured: dict[Statistic, float] = {}
+    for stat, choice in result.choices.items():
+        if choice.resolution >= 1.0 or stat.kind is not StatKind.HISTOGRAM:
+            continue
+        value = observed.maybe(stat)
+        if not isinstance(value, Histogram) or not value.is_single:
+            continue
+        exact_buckets = value.distinct_count()
+        target = max(int(exact_buckets * choice.resolution), 1)
+        try:
+            approx = BucketizedHistogram.from_histogram(value, target)
+        except Exception:
+            continue
+        total = value.total()
+        if not total:
+            measured[stat] = 0.0
+            continue
+        err = 0.0
+        import bisect
+
+        for key, freq in value.counts.items():
+            v = key[0]
+            # reconstruct the bucketized estimate for this value
+            b = int((v - min(k[0] for k in value.counts)) // approx.width)
+            count = approx.counts.get(b, 0.0)
+            dv = max(approx.distincts.get(b, 1), 1)
+            est = count / dv
+            err += abs(est - freq)
+        measured[stat] = err / total
+    return measured
+
+
+def select_with_error_budget(
+    catalog: CssCatalog,
+    problem: SelectionProblem,
+    base: SelectionResult,
+    cost_model: CostModel,
+    error_budget: float,
+    skew: float = 0.5,
+) -> ErrorAwareResult:
+    """Convenience wrapper over :class:`ErrorAwareSelector`."""
+    selector = ErrorAwareSelector(catalog, problem, base, cost_model, skew=skew)
+    return selector.select(error_budget)

@@ -1,0 +1,252 @@
+"""The 0-1 integer linear program of Section 5.2.
+
+Variables (exactly as in the paper):
+
+- ``x_i`` -- statistic ``s_i`` is directly observed (only for ``s_i`` in
+  ``S_O``);
+- ``y_i`` -- statistic ``s_i`` is computable;
+- ``z_ij`` -- the j-th CSS of ``s_i`` is covered.
+
+Constraints:
+
+- coverage:      ``sum_{k in CSS_ij} y_k >= z_ij * |CSS_ij|``
+- trivial-only:  ``y_i = x_i``  (observable, no non-trivial CSS)
+- observable:    ``y_i >= x_i``
+- only-if:       ``y_i <= x_i + sum_j z_ij``  (non-observable: drop x_i)
+- if:            ``y_i >= z_ij``
+- required:      ``y_i = 1`` for ``s_i`` in ``S_C``
+
+Objective: ``min sum c_i x_i``.
+
+The paper's formulation admits one unsound corner the text does not
+discuss: the CSS graph can be cyclic -- union-division (J4/J5) derives a
+statistic from statistics on a *larger* SE, whose own CSSs (J1-J3) refer
+back to the smaller one -- and a cyclic group of ``y`` variables could then
+justify each other with no observed ground truth.  We close the hole with
+the standard acyclic-derivation device: a continuous *level* variable per
+statistic, with ``L_target >= L_input + 1`` whenever a CSS is selected
+(big-M relaxed when it is not).  Any feasible assignment is then a genuine
+bottom-up derivation; we still verify the incumbent against the closure as
+a belt-and-braces check.
+
+Level constraints are only needed where cycles can actually form: within
+the strongly-connected components of the CSS dependency graph.  Everything
+else is acyclic by construction, so the SCC restriction keeps the MILP
+small (it typically removes >95% of the level rows).
+
+Primary solver: ``scipy.optimize.milp`` (HiGHS).  Without scipy the greedy
+heuristic of Section 5.3 takes over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import INFINITE
+from repro.core.selection import SelectionProblem, SelectionResult
+
+try:  # pragma: no cover - exercised implicitly
+    from scipy.optimize import Bounds, LinearConstraint, milp
+    from scipy.sparse import csr_matrix
+
+    HAVE_SCIPY = True
+except Exception:  # pragma: no cover
+    HAVE_SCIPY = False
+
+
+def _strongly_connected(problem: SelectionProblem) -> dict[int, int]:
+    """Tarjan SCC ids over the CSS dependency graph (target -> inputs).
+
+    Only statistics inside a multi-node SCC (or with a self-loop) can take
+    part in a cyclic self-support; everything else needs no level row.
+    """
+    adj: dict[int, list[int]] = {}
+    for entry in problem.entries:
+        adj.setdefault(entry.target, []).extend(
+            k for k in set(entry.inputs) if k != entry.target
+        )
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    scc_of: dict[int, int] = {}
+    counter = [0]
+    scc_counter = [0]
+
+    for root in list(adj):
+        if root in index:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = adj.get(node, [])
+            for ci in range(child_idx, len(children)):
+                child = children[ci]
+                if child not in index:
+                    work.append((node, ci + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if recurse:
+                continue
+            if low[node] == index[node]:
+                scc_id = scc_counter[0]
+                scc_counter[0] += 1
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc_of[member] = scc_id
+                    if member == node:
+                        break
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return scc_of
+
+
+def solve_ilp(
+    problem: SelectionProblem, time_limit: float | None = None
+) -> SelectionResult:
+    """Solve the selection problem exactly.
+
+    ``time_limit`` (seconds) caps the HiGHS run; on timeout the best
+    incumbent is used if it verifies, otherwise the greedy heuristic takes
+    over -- exactly the fallback Section 5.3 motivates ("The LP formulation
+    could take a long time to solve").
+    """
+    if not HAVE_SCIPY:  # pragma: no cover - scipy is a hard dep in practice
+        from repro.core.greedy import solve_greedy
+
+        return solve_greedy(problem)
+
+    n = problem.n
+    m = len(problem.entries)
+    scc_of = _strongly_connected(problem)
+    scc_sizes: dict[int, int] = {}
+    for scc_id in scc_of.values():
+        scc_sizes[scc_id] = scc_sizes.get(scc_id, 0) + 1
+    cyclic = {
+        i for i, scc_id in scc_of.items() if scc_sizes[scc_id] > 1
+    }
+    # variable layout: x_0.., y_0.., z_0.., L_0.. (levels, continuous)
+    x0, y0, z0, l0 = 0, n, 2 * n, 2 * n + m
+    nvars = 2 * n + m + n
+    big_m = float(max(scc_sizes.values(), default=1) + 1)
+
+    cost = np.zeros(nvars)
+    lb = np.zeros(nvars)
+    ub = np.ones(nvars)
+    ub[l0:] = big_m  # level variables range over [0, M]
+    integrality = np.ones(nvars)
+    integrality[l0:] = 0.0
+
+    for i in range(n):
+        if i in problem.observable and problem.costs[i] < INFINITE:
+            cost[x0 + i] = problem.costs[i]
+        else:
+            ub[x0 + i] = 0.0  # cannot observe
+    for i in problem.required:
+        lb[y0 + i] = 1.0
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    c_lo: list[float] = []
+    c_hi: list[float] = []
+
+    def add(terms: list[tuple[int, float]], lo: float, hi: float) -> None:
+        row = len(c_lo)
+        for col, val in terms:
+            rows.append(row)
+            cols.append(col)
+            vals.append(val)
+        c_lo.append(lo)
+        c_hi.append(hi)
+
+    nontrivial = {e.target for e in problem.entries}
+
+    for j, entry in enumerate(problem.entries):
+        members = sorted(set(entry.inputs))
+        if entry.target in members:
+            ub[z0 + j] = 0.0  # a self-referential CSS can never support
+            continue
+        # coverage: sum y_k - |CSS| * z_j >= 0
+        add(
+            [(y0 + k, 1.0) for k in members] + [(z0 + j, -float(len(members)))],
+            0.0,
+            np.inf,
+        )
+        # if: y_target >= z_j
+        add([(y0 + entry.target, 1.0), (z0 + j, -1.0)], 0.0, np.inf)
+        # acyclicity: L_target >= L_k + 1 - M(1 - z_j), but only inside a
+        # strongly-connected component, where a cycle could actually form
+        if entry.target in cyclic:
+            target_scc = scc_of[entry.target]
+            for k in members:
+                if k == entry.target or scc_of.get(k) != target_scc:
+                    continue
+                add(
+                    [
+                        (l0 + entry.target, 1.0),
+                        (l0 + k, -1.0),
+                        (z0 + j, -big_m),
+                    ],
+                    1.0 - big_m,
+                    np.inf,
+                )
+
+    for i in range(n):
+        css_vars = problem.by_target.get(i, [])
+        if i in problem.observable and i not in nontrivial:
+            # trivial-only: y_i = x_i
+            add([(y0 + i, 1.0), (x0 + i, -1.0)], 0.0, 0.0)
+            continue
+        if i in problem.observable:
+            add([(y0 + i, 1.0), (x0 + i, -1.0)], 0.0, np.inf)  # y_i >= x_i
+        # only-if: y_i <= x_i + sum z_ij
+        terms = [(y0 + i, 1.0)]
+        if i in problem.observable:
+            terms.append((x0 + i, -1.0))
+        terms.extend((z0 + j, -1.0) for j in css_vars)
+        add(terms, -np.inf, 0.0)
+
+    a = csr_matrix((vals, (rows, cols)), shape=(len(c_lo), nvars))
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    res = milp(
+        c=cost,
+        constraints=[LinearConstraint(a, np.array(c_lo), np.array(c_hi))],
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
+        options=options,
+    )
+    if res.x is None:
+        from repro.core.greedy import solve_greedy
+
+        fallback = solve_greedy(problem)
+        fallback.method = "greedy(ilp-no-incumbent)"
+        return fallback
+
+    observed = {
+        i for i in range(n) if i in problem.observable and res.x[x0 + i] > 0.5
+    }
+    if not (set(problem.required) <= problem.closure(observed)):
+        # should be impossible given the level constraints
+        from repro.core.greedy import solve_greedy  # pragma: no cover
+
+        fallback = solve_greedy(problem)  # pragma: no cover
+        fallback.method = "greedy(ilp-unsound)"  # pragma: no cover
+        return fallback  # pragma: no cover
+    method = "ilp" if res.success else "ilp(time-limit)"
+    return SelectionResult(
+        problem=problem, observed_indexes=observed, method=method, iterations=1
+    )

@@ -1,0 +1,232 @@
+"""Persistence: statistics and plans across engine restarts.
+
+The paper's lifecycle spans *separate* executions of the ETL engine — the
+statistics gathered tonight must optimize tomorrow night's run, after every
+process involved has exited.  This module serializes the moving parts to
+JSON:
+
+- :class:`~repro.core.statistics.StatisticsStore` values (counters,
+  distinct counts, exact histograms) keyed by their statistic identity;
+- plan trees (the chosen join order per block);
+- a :class:`SessionState` bundling both plus the adopted cardinalities the
+  drift detector compares against.
+
+Histogram bucket keys may be arbitrary value tuples; they are stored as
+JSON arrays, so values must be JSON-representable (ints/strings — which is
+what the engine produces).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.algebra.expressions import (
+    AnySE,
+    RejectJoinSE,
+    RejectSE,
+    SubExpression,
+)
+from repro.algebra.plans import JoinNode, Leaf, PlanTree
+from repro.core.histogram import Histogram
+from repro.core.statistics import StatKind, Statistic, StatisticsStore
+
+
+class PersistenceError(ValueError):
+    """Raised for malformed persisted documents."""
+
+
+# ---------------------------------------------------------------------------
+# sub-expressions
+# ---------------------------------------------------------------------------
+
+
+def se_to_dict(se: AnySE) -> dict:
+    """JSON-ready form of any sub-expression flavour."""
+    if isinstance(se, SubExpression):
+        return {"type": "se", "relations": sorted(se.relations)}
+    if isinstance(se, RejectSE):
+        key = list(se.key) if isinstance(se.key, tuple) else se.key
+        return {
+            "type": "reject",
+            "source": se_to_dict(se.source),
+            "key": key,
+            "against": se_to_dict(se.against),
+        }
+    if isinstance(se, RejectJoinSE):
+        key = list(se.key) if isinstance(se.key, tuple) else se.key
+        return {
+            "type": "reject_join",
+            "reject": se_to_dict(se.reject),
+            "key": key,
+            "other": se_to_dict(se.other),
+        }
+    raise PersistenceError(f"not a sub-expression: {se!r}")
+
+
+def se_from_dict(doc: dict) -> AnySE:
+    """Inverse of :func:`se_to_dict`."""
+    kind = doc.get("type")
+    if kind == "se":
+        return SubExpression(frozenset(doc["relations"]))
+    if kind == "reject":
+        key = doc["key"]
+        key = tuple(key) if isinstance(key, list) else key
+        return RejectSE(se_from_dict(doc["source"]), key, se_from_dict(doc["against"]))
+    if kind == "reject_join":
+        key = doc["key"]
+        key = tuple(key) if isinstance(key, list) else key
+        return RejectJoinSE(
+            se_from_dict(doc["reject"]), key, se_from_dict(doc["other"])
+        )
+    raise PersistenceError(f"unknown SE document type {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
+
+
+def statistic_to_dict(stat: Statistic) -> dict:
+    """JSON-ready form of a statistic key."""
+    return {
+        "kind": stat.kind.value,
+        "se": se_to_dict(stat.se),
+        "attrs": list(stat.attrs),
+    }
+
+
+def statistic_from_dict(doc: dict) -> Statistic:
+    """Inverse of :func:`statistic_to_dict`."""
+    try:
+        kind = StatKind(doc["kind"])
+    except (KeyError, ValueError) as exc:
+        raise PersistenceError(f"bad statistic kind: {doc!r}") from exc
+    return Statistic(kind, se_from_dict(doc["se"]), tuple(doc.get("attrs", ())))
+
+
+def store_to_dict(store: StatisticsStore) -> dict:
+    """Serialize a statistics store (values included) deterministically."""
+    entries = []
+    for stat, value in store.items():
+        entry = {"stat": statistic_to_dict(stat)}
+        if isinstance(value, Histogram):
+            entry["histogram"] = {
+                "attrs": list(value.attrs),
+                "buckets": [[list(k), v] for k, v in value.counts.items()],
+            }
+        else:
+            entry["value"] = value
+        entries.append(entry)
+    entries.sort(key=lambda e: json.dumps(e["stat"], sort_keys=True))
+    return {"statistics": entries}
+
+
+def store_from_dict(doc: dict) -> StatisticsStore:
+    """Inverse of :func:`store_to_dict`."""
+    store = StatisticsStore()
+    for entry in doc.get("statistics", []):
+        stat = statistic_from_dict(entry["stat"])
+        if "histogram" in entry:
+            hdoc = entry["histogram"]
+            counts = {tuple(k): v for k, v in hdoc["buckets"]}
+            store.put(stat, Histogram(tuple(hdoc["attrs"]), counts))
+        else:
+            store.put(stat, entry["value"])
+    return store
+
+
+def save_statistics(store: StatisticsStore, path: str | Path) -> None:
+    """Write a statistics store to a JSON file."""
+    Path(path).write_text(json.dumps(store_to_dict(store), indent=1))
+
+
+def load_statistics(path: str | Path) -> StatisticsStore:
+    """Read a statistics store from a JSON file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid statistics file: {exc}") from exc
+    return store_from_dict(doc)
+
+
+# ---------------------------------------------------------------------------
+# plan trees
+# ---------------------------------------------------------------------------
+
+
+def tree_to_dict(tree: PlanTree) -> dict:
+    """JSON-ready form of a plan tree."""
+    if isinstance(tree, Leaf):
+        return {"leaf": tree.name}
+    return {
+        "key": list(tree.key),
+        "left": tree_to_dict(tree.left),
+        "right": tree_to_dict(tree.right),
+    }
+
+
+def tree_from_dict(doc: dict) -> PlanTree:
+    """Inverse of :func:`tree_to_dict`."""
+    if "leaf" in doc:
+        return Leaf(doc["leaf"])
+    try:
+        return JoinNode(
+            tree_from_dict(doc["left"]),
+            tree_from_dict(doc["right"]),
+            tuple(doc["key"]),
+        )
+    except KeyError as exc:
+        raise PersistenceError(f"malformed plan document: missing {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# session state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SessionState:
+    """What a restarting session needs: the adopted plans and statistics."""
+
+    trees: dict[str, PlanTree] = field(default_factory=dict)
+    adopted_cardinalities: dict[AnySE, float] = field(default_factory=dict)
+    runs_completed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "runs_completed": self.runs_completed,
+            "trees": {name: tree_to_dict(t) for name, t in self.trees.items()},
+            "cardinalities": [
+                [se_to_dict(se), value]
+                for se, value in sorted(
+                    self.adopted_cardinalities.items(), key=lambda kv: repr(kv[0])
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SessionState":
+        return cls(
+            trees={
+                name: tree_from_dict(t)
+                for name, t in doc.get("trees", {}).items()
+            },
+            adopted_cardinalities={
+                se_from_dict(se_doc): value
+                for se_doc, value in doc.get("cardinalities", [])
+            },
+            runs_completed=doc.get("runs_completed", 0),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionState":
+        try:
+            doc = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"invalid session file: {exc}") from exc
+        return cls.from_dict(doc)

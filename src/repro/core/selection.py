@@ -1,0 +1,190 @@
+"""The statistic-selection problem (Section 5.1).
+
+Given the CSS catalog, build the extended hitting-set instance: find
+``S'_O`` (a subset of the observable statistics) of minimal cost such that
+every statistic in ``S_C`` is *computable* -- directly observed or covered
+through a chain of CSSs whose member statistics are themselves computable.
+
+The module also provides the soundness check the LP formulation needs:
+because rules such as union-division reference statistics on *larger* SEs,
+the CSS graph can contain cycles, and a naive assignment could declare two
+statistics computable purely in terms of each other.  ``closure`` computes
+the true bottom-up fixpoint; both solvers verify against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.costs import CostModel
+from repro.core.css import CSS, CssCatalog
+from repro.core.statistics import Statistic
+
+
+@dataclass(frozen=True)
+class CssEntry:
+    """A flattened CSS: indexes into the problem's statistic list."""
+
+    target: int
+    inputs: tuple[int, ...]
+    css: CSS
+
+
+@dataclass
+class SelectionProblem:
+    """An instance of the optimal-statistics-identification problem."""
+
+    stats: list[Statistic]
+    observable: frozenset[int]
+    required: frozenset[int]
+    entries: list[CssEntry]
+    costs: list[float]
+    index: dict[Statistic, int] = field(default_factory=dict)
+    by_target: dict[int, list[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.index:
+            self.index = {s: i for i, s in enumerate(self.stats)}
+        if not self.by_target:
+            for j, entry in enumerate(self.entries):
+                self.by_target.setdefault(entry.target, []).append(j)
+
+    @property
+    def n(self) -> int:
+        return len(self.stats)
+
+    def stat(self, i: int) -> Statistic:
+        return self.stats[i]
+
+    def closure(self, observed: set[int]) -> set[int]:
+        """True computability fixpoint from a set of observed statistics."""
+        computable = set(observed) & set(self.observable)
+        # index CSS entries by the inputs they wait on
+        waiting: dict[int, list[int]] = {}
+        remaining: dict[int, int] = {}
+        for j, entry in enumerate(self.entries):
+            missing = [k for k in set(entry.inputs) if k not in computable]
+            remaining[j] = len(missing)
+            for k in missing:
+                waiting.setdefault(k, []).append(j)
+        frontier = list(computable)
+        ready = [
+            j for j, entry in enumerate(self.entries)
+            if remaining[j] == 0 and entry.target not in computable
+        ]
+        while frontier or ready:
+            for j in ready:
+                target = self.entries[j].target
+                if target not in computable:
+                    computable.add(target)
+                    frontier.append(target)
+            ready = []
+            while frontier:
+                k = frontier.pop()
+                for j in waiting.get(k, []):
+                    remaining[j] -= 1
+                    if remaining[j] == 0:
+                        if self.entries[j].target not in computable:
+                            ready.append(j)
+        return computable
+
+    def is_sufficient(self, observed: set[int]) -> bool:
+        return set(self.required) <= self.closure(observed)
+
+    def total_cost(self, observed: set[int]) -> float:
+        return sum(self.costs[i] for i in observed)
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a selection solve."""
+
+    problem: SelectionProblem
+    observed_indexes: set[int]
+    method: str
+    iterations: int = 1
+
+    @property
+    def observed(self) -> list[Statistic]:
+        return sorted(
+            (self.problem.stat(i) for i in self.observed_indexes),
+            key=lambda s: s.sort_key(),
+        )
+
+    @property
+    def total_cost(self) -> float:
+        return self.problem.total_cost(self.observed_indexes)
+
+    @property
+    def is_valid(self) -> bool:
+        return self.problem.is_sufficient(self.observed_indexes)
+
+    def describe(self) -> str:
+        lines = [
+            f"Selection [{self.method}] cost={self.total_cost:g} "
+            f"({len(self.observed_indexes)} statistics observed)"
+        ]
+        for stat in self.observed:
+            cost = self.problem.costs[self.problem.index[stat]]
+            lines.append(f"  {stat!r}  cost={cost:g}")
+        return "\n".join(lines)
+
+
+def build_problem(
+    catalog: CssCatalog,
+    cost_model: CostModel,
+    free_statistics: set[Statistic] | None = None,
+) -> SelectionProblem:
+    """Assemble the selection instance from the CSS catalog.
+
+    ``free_statistics`` are statistics already available from source systems
+    (Section 6.2): they join ``S_O`` with zero cost, so the solver always
+    exploits them.
+    """
+    free = free_statistics or set()
+    stats = sorted(catalog.all_statistics | free, key=lambda s: s.sort_key())
+    index = {s: i for i, s in enumerate(stats)}
+    observable = frozenset(
+        i
+        for i, s in enumerate(stats)
+        if catalog.is_observable(s) or s in free
+    )
+    required = frozenset(index[s] for s in catalog.required)
+    entries: list[CssEntry] = []
+    for target, bucket in catalog.css.items():
+        for css in bucket:
+            entries.append(
+                CssEntry(
+                    target=index[target],
+                    inputs=tuple(index[s] for s in css.inputs),
+                    css=css,
+                )
+            )
+    costs = [
+        0.0
+        if stats[i] in free
+        else cost_model.cost(stats[i], observable=i in observable)
+        for i in range(len(stats))
+    ]
+    problem = SelectionProblem(
+        stats=stats,
+        observable=observable,
+        required=required,
+        entries=entries,
+        costs=costs,
+        index=index,
+    )
+    _check_feasible(problem)
+    return problem
+
+
+def _check_feasible(problem: SelectionProblem) -> None:
+    """Every required statistic must be reachable when everything observable
+    is observed; otherwise the flow was analyzed incorrectly."""
+    everything = set(problem.observable)
+    missing = set(problem.required) - problem.closure(everything)
+    if missing:
+        names = ", ".join(repr(problem.stat(i)) for i in sorted(missing))
+        raise ValueError(
+            f"selection infeasible: no observable coverage for {names}"
+        )

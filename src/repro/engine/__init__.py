@@ -1,0 +1,13 @@
+"""Execution engine: columnar tables, physical operators, instrumentation."""
+
+from repro.engine.executor import Executor, WorkflowRun, execute_workflow
+from repro.engine.ground_truth import ground_truth_cardinalities
+from repro.engine.instrumentation import InstrumentationError, TapSet
+from repro.engine.streaming import StreamExecutor, StreamingTaps
+from repro.engine.table import Table, TableError
+
+__all__ = [
+    "execute_workflow", "Executor", "ground_truth_cardinalities",
+    "InstrumentationError", "StreamExecutor", "StreamingTaps", "Table",
+    "TableError", "TapSet", "WorkflowRun",
+]

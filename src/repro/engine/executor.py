@@ -1,0 +1,216 @@
+"""Workflow execution: runs blocks (optionally re-ordered) over tables.
+
+The executor is the "run instrumented plan" step of the framework
+(Section 3.2.6).  It executes each optimizable block with either its
+initial join tree or a caller-supplied re-ordering, applies boundary
+operators between blocks, produces the target record-sets, and fires the
+:class:`~repro.engine.instrumentation.TapSet` at every plan point.
+
+Every point's row count is recorded in ``se_sizes`` regardless of taps --
+this is the passive monitoring signal (the LEO-style baseline) and the
+previous-run SE sizes the CPU cost metric needs (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.blocks import Block, BlockAnalysis
+from repro.algebra.expressions import AnySE, RejectSE, SubExpression
+from repro.algebra.operators import Aggregate, AggregateUDF, Materialize, Target
+from repro.algebra.plans import Leaf, PlanTree
+from repro.core.statistics import StatisticsStore
+from repro.engine.instrumentation import TapSet
+from repro.engine.physical import (
+    apply_aggregate_udf,
+    apply_step,
+    group_by,
+    hash_join,
+)
+from repro.engine.table import Table, TableError
+
+
+@dataclass
+class WorkflowRun:
+    """Everything a single execution produced."""
+
+    env: dict[str, Table] = field(default_factory=dict)
+    targets: dict[str, Table] = field(default_factory=dict)
+    observations: StatisticsStore = field(default_factory=StatisticsStore)
+    se_sizes: dict[AnySE, int] = field(default_factory=dict)
+    rejects: dict[RejectSE, Table] = field(default_factory=dict)
+
+    def target(self, name: str) -> Table:
+        return self.targets[name]
+
+
+class Executor:
+    """Executes an analyzed workflow over source tables."""
+
+    def __init__(self, analysis: BlockAnalysis):
+        self.analysis = analysis
+
+    def run(
+        self,
+        sources: dict[str, Table],
+        trees: dict[str, PlanTree] | None = None,
+        taps: TapSet | None = None,
+    ) -> WorkflowRun:
+        """Execute the workflow.
+
+        ``trees`` maps block names to replacement join trees (defaults to
+        each block's initial plan); ``taps`` is the instrumentation to fire.
+        """
+        trees = trees or {}
+        taps = taps if taps is not None else TapSet()
+        run = WorkflowRun(env=dict(sources))
+        self._check_sources(sources)
+
+        # blocks and boundaries depend on each other's outputs; execute
+        # whatever is ready until everything has run
+        pending_blocks = list(self.analysis.blocks)
+        pending_boundaries = list(self.analysis.boundaries)
+        while pending_blocks or pending_boundaries:
+            progressed = False
+            for block in list(pending_blocks):
+                feeds = [inp.base_name for inp in block.inputs.values()]
+                if all(name in run.env for name in feeds):
+                    tree = trees.get(block.name, block.initial_tree)
+                    run.env[block.output_name] = self._execute_block(
+                        block, tree, run, taps
+                    )
+                    pending_blocks.remove(block)
+                    progressed = True
+            for boundary in list(pending_boundaries):
+                if boundary.input_name in run.env:
+                    self._execute_boundary(boundary, run, taps)
+                    pending_boundaries.remove(boundary)
+                    progressed = True
+            if not progressed:  # pragma: no cover - analysis emits a DAG
+                raise TableError(
+                    "workflow execution deadlocked; block analysis produced "
+                    "a cyclic dependency"
+                )
+
+        run.observations = taps.store
+        return run
+
+    def _execute_boundary(
+        self, boundary, run: WorkflowRun, taps: TapSet
+    ) -> None:
+        node = boundary.node
+        table = run.env[boundary.input_name]
+        if isinstance(node, Target):
+            run.targets[node.name] = table
+            return
+        if isinstance(node, Aggregate):
+            out = group_by(table, node.group_attrs, node.aggregates)
+        elif isinstance(node, AggregateUDF):
+            out = apply_aggregate_udf(table, node.fn)
+        elif isinstance(node, Materialize):
+            out = table
+        else:  # pragma: no cover - analysis emits only these
+            raise TableError(f"unexpected boundary {node.label}")
+        run.env[boundary.output_name] = out
+        out_se = SubExpression.of(boundary.output_name)
+        run.se_sizes[out_se] = out.num_rows
+        taps.observe(out_se, out)
+
+    # ------------------------------------------------------------------
+    def _check_sources(self, sources: dict[str, Table]) -> None:
+        missing = [
+            name
+            for name in self.analysis.workflow.source_names()
+            if name not in sources
+        ]
+        if missing:
+            raise TableError(f"missing source tables: {missing}")
+
+    def _execute_block(
+        self, block: Block, tree: PlanTree, run: WorkflowRun, taps: TapSet
+    ) -> Table:
+        if set(leaf.name for leaf in _tree_leaves(tree)) != set(block.inputs):
+            raise TableError(
+                f"plan tree for {block.name} does not cover its inputs"
+            )
+        inputs: dict[str, Table] = {}
+        for name, inp in sorted(block.inputs.items()):
+            table = run.env[inp.base_name]
+            stage_names = inp.stage_names()
+            self._note(run, taps, SubExpression.of(stage_names[0]), table)
+            for step, stage in zip(inp.steps, stage_names[1:]):
+                table = apply_step(table, step)
+                self._note(run, taps, SubExpression.of(stage), table)
+            inputs[name] = table
+
+        wanted_rejects = taps.reject_requests() | set(block.materialized_rejects)
+        applied_floating: set[int] = set()
+
+        def exec_tree(node: PlanTree) -> Table:
+            if isinstance(node, Leaf):
+                return inputs[node.name]
+            left = exec_tree(node.left)
+            right = exec_tree(node.right)
+            key = tuple(node.key)
+            rej_key = key[0] if len(key) == 1 else key
+            rej_left = RejectSE(node.left.se, rej_key, node.right.se)
+            rej_right = RejectSE(node.right.se, rej_key, node.left.se)
+            want_l = rej_left in wanted_rejects
+            want_r = rej_right in wanted_rejects
+            result, reject_l, reject_r = hash_join(
+                left, right, key, want_l, want_r
+            )
+            if want_l:
+                run.rejects[rej_left] = reject_l
+                run.se_sizes[rej_left] = reject_l.num_rows
+                taps.observe(rej_left, reject_l)
+            if want_r:
+                run.rejects[rej_right] = reject_r
+                run.se_sizes[rej_right] = reject_r.num_rows
+                taps.observe(rej_right, reject_r)
+            result = self._apply_floating(block, node.se, result, applied_floating)
+            self._note(run, taps, node.se, result)
+            return result
+
+        table = exec_tree(tree)
+        for step, stage in zip(block.post_steps, block.post_stage_ses()):
+            table = apply_step(table, step)
+            self._note(run, taps, stage, table)
+        return table
+
+    def _apply_floating(
+        self,
+        block: Block,
+        se: SubExpression,
+        table: Table,
+        applied: set[int],
+    ) -> Table:
+        for idx, op in enumerate(block.floating):
+            if idx in applied or not (op.anchor <= se.relations):
+                continue
+            table = apply_step(table, op.step)
+            applied.add(idx)
+        return table
+
+    @staticmethod
+    def _note(
+        run: WorkflowRun, taps: TapSet, se: SubExpression, table: Table
+    ) -> None:
+        run.se_sizes[se] = table.num_rows
+        taps.observe(se, table)
+
+
+def _tree_leaves(tree: PlanTree) -> list[Leaf]:
+    if isinstance(tree, Leaf):
+        return [tree]
+    return _tree_leaves(tree.left) + _tree_leaves(tree.right)
+
+
+def execute_workflow(
+    analysis: BlockAnalysis,
+    sources: dict[str, Table],
+    trees: dict[str, PlanTree] | None = None,
+    taps: TapSet | None = None,
+) -> WorkflowRun:
+    """Convenience wrapper over :class:`Executor`."""
+    return Executor(analysis).run(sources, trees=trees, taps=taps)

@@ -1,0 +1,82 @@
+"""Plan instrumentation: taps that observe statistics during a run.
+
+Section 3.2.5: *"Many commercial ETL engines provide a mechanism to plug in
+user defined handlers at any point in the flow ... invoked for every tuple
+that passes through that point."*  Our equivalent is the :class:`TapSet`:
+it is handed the set of statistics the selection step chose, groups them by
+observation point (an SE of the plan, or a reject link), and the executor
+calls :meth:`TapSet.observe` whenever a tuple stream materializes at such a
+point.
+
+- cardinality  -> a counter (one integer);
+- histogram    -> an exact frequency histogram on the tapped attributes;
+- distinct     -> a distinct-value counter.
+
+Reject-link statistics are observable because the engine can always add an
+instrumentation-only reject output to a join of the initial plan
+(Section 4.1.2); :meth:`TapSet.reject_requests` tells the executor which
+ones to produce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.algebra.expressions import AnySE, RejectJoinSE, RejectSE
+from repro.core.statistics import StatKind, Statistic, StatisticsStore
+from repro.engine.table import Table
+
+
+class InstrumentationError(ValueError):
+    """Raised when asked to observe something no plan point can provide."""
+
+
+class TapSet:
+    """Groups requested statistics by observation point and collects them."""
+
+    def __init__(self, stats: Iterable[Statistic] = ()):
+        self._by_se: dict[AnySE, list[Statistic]] = {}
+        self.store = StatisticsStore()
+        for stat in stats:
+            self.request(stat)
+
+    def request(self, stat: Statistic) -> None:
+        if isinstance(stat.se, RejectJoinSE):
+            raise InstrumentationError(
+                f"{stat!r} is never observable: the reject side-join is not "
+                "executed by any plan"
+            )
+        self._by_se.setdefault(stat.se, []).append(stat)
+
+    # ------------------------------------------------------------------
+    @property
+    def requested(self) -> list[Statistic]:
+        return [s for bucket in self._by_se.values() for s in bucket]
+
+    def wants(self, se: AnySE) -> bool:
+        return se in self._by_se
+
+    def reject_requests(self) -> set[RejectSE]:
+        """Reject links the executor must produce (even instrumentation-only)."""
+        return {se for se in self._by_se if isinstance(se, RejectSE)}
+
+    # ------------------------------------------------------------------
+    def observe(self, se: AnySE, table: Table) -> None:
+        """Collect every statistic requested at this point."""
+        for stat in self._by_se.get(se, []):
+            if stat.kind is StatKind.CARDINALITY:
+                self.store.put(stat, table.num_rows)
+            elif stat.kind is StatKind.HISTOGRAM:
+                missing = [a for a in stat.attrs if not table.has_column(a)]
+                if missing:
+                    raise InstrumentationError(
+                        f"cannot observe {stat!r}: attributes {missing} are "
+                        f"not live at {se!r} (have {table.attrs})"
+                    )
+                self.store.put(stat, table.histogram(stat.attrs))
+            else:
+                self.store.put(stat, table.distinct_count(stat.attrs))
+
+    def missing(self) -> list[Statistic]:
+        """Requested statistics that no observation reached (plan bug)."""
+        return [s for s in self.requested if s not in self.store]

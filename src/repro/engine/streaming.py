@@ -1,0 +1,336 @@
+"""A streaming (per-tuple) executor: the paper's instrumentation model.
+
+Section 3.2.5: *"Many commercial ETL engines provide a mechanism to plug in
+user defined handlers at any point in the flow.  These handlers are invoked
+for every tuple that passes through that point."*  The columnar
+:class:`~repro.engine.executor.Executor` observes materialized tables; this
+module executes the same plans as generator pipelines where **each row**
+flows through the operators one at a time and statistics are updated
+per tuple:
+
+- counters increment row by row;
+- histogram buckets increment as values stream past;
+- only hash-join build sides, blocking boundaries and materialized outputs
+  buffer rows.
+
+The two executors are interchangeable: given the same plan and sources they
+produce identical targets, SE sizes and observed statistics (the test suite
+asserts it).  The streaming one exists because it exercises the *actual*
+code path an ETL engine would use — per-tuple observation with bounded
+instrumentation state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.algebra.blocks import Block, BlockAnalysis, Step
+from repro.algebra.expressions import AnySE, RejectSE, SubExpression
+from repro.algebra.operators import Aggregate, AggregateUDF, Materialize, Target
+from repro.algebra.plans import JoinNode, Leaf, PlanTree
+from repro.core.histogram import Histogram
+from repro.core.statistics import StatKind, Statistic, StatisticsStore
+from repro.engine.executor import WorkflowRun
+from repro.engine.instrumentation import InstrumentationError
+from repro.engine.physical import group_by
+from repro.engine.table import Table, TableError
+
+Row = dict
+
+
+class StreamingTaps:
+    """Per-tuple statistic accumulators, grouped by observation point."""
+
+    def __init__(self, stats: Iterable[Statistic] = ()):
+        self._by_se: dict[AnySE, list[Statistic]] = {}
+        self._counters: dict[Statistic, int] = {}
+        self._hists: dict[Statistic, dict] = {}
+        self._distinct: dict[Statistic, set] = {}
+        for stat in stats:
+            self.request(stat)
+
+    def request(self, stat: Statistic) -> None:
+        from repro.algebra.expressions import RejectJoinSE
+
+        if isinstance(stat.se, RejectJoinSE):
+            raise InstrumentationError(
+                f"{stat!r} is never observable in a streaming plan"
+            )
+        self._by_se.setdefault(stat.se, []).append(stat)
+        if stat.kind is StatKind.CARDINALITY:
+            self._counters[stat] = 0
+        elif stat.kind is StatKind.HISTOGRAM:
+            self._hists[stat] = defaultdict(int)
+        else:
+            self._distinct[stat] = set()
+
+    # ------------------------------------------------------------------
+    def wants(self, se: AnySE) -> bool:
+        return se in self._by_se
+
+    def reject_requests(self) -> set[RejectSE]:
+        return {se for se in self._by_se if isinstance(se, RejectSE)}
+
+    def observe_row(self, se: AnySE, row: Row) -> None:
+        """The per-tuple handler: O(#stats at this point) per row."""
+        for stat in self._by_se.get(se, ()):
+            if stat.kind is StatKind.CARDINALITY:
+                self._counters[stat] += 1
+            else:
+                try:
+                    value = tuple(row[a] for a in stat.attrs)
+                except KeyError as exc:
+                    raise InstrumentationError(
+                        f"cannot observe {stat!r}: attribute {exc} is not "
+                        f"live at {se!r}"
+                    ) from exc
+                if stat.kind is StatKind.HISTOGRAM:
+                    self._hists[stat][value] += 1
+                else:
+                    self._distinct[stat].add(value)
+
+    def collect(self) -> StatisticsStore:
+        store = StatisticsStore()
+        for stat, count in self._counters.items():
+            store.put(stat, count)
+        for stat, buckets in self._hists.items():
+            store.put(stat, Histogram(stat.attrs, dict(buckets)))
+        for stat, values in self._distinct.items():
+            store.put(stat, len(values))
+        return store
+
+    @property
+    def requested(self) -> list[Statistic]:
+        return [s for bucket in self._by_se.values() for s in bucket]
+
+
+def _table_rows(table: Table) -> Iterator[Row]:
+    attrs = table.attrs
+    for values in table.rows():
+        yield dict(zip(attrs, values))
+
+
+def _rows_table(rows: list[Row], attrs: tuple[str, ...]) -> Table:
+    return Table({a: [r[a] for r in rows] for a in attrs}) if rows else Table.empty(attrs)
+
+
+class StreamExecutor:
+    """Pipelined workflow execution with per-tuple taps."""
+
+    def __init__(self, analysis: BlockAnalysis):
+        self.analysis = analysis
+
+    def run(
+        self,
+        sources: dict[str, Table],
+        trees: dict[str, PlanTree] | None = None,
+        taps: StreamingTaps | None = None,
+    ) -> WorkflowRun:
+        trees = trees or {}
+        taps = taps if taps is not None else StreamingTaps()
+        run = WorkflowRun(env=dict(sources))
+        # a shared feed (source or boundary output consumed by several
+        # blocks) must be observed exactly once -- streaming counters are
+        # cumulative, unlike the columnar executor's idempotent puts
+        self._claimed_points: set[AnySE] = set()
+
+        pending_blocks = list(self.analysis.blocks)
+        pending_boundaries = list(self.analysis.boundaries)
+        while pending_blocks or pending_boundaries:
+            progressed = False
+            for block in list(pending_blocks):
+                feeds = [inp.base_name for inp in block.inputs.values()]
+                if all(name in run.env for name in feeds):
+                    tree = trees.get(block.name, block.initial_tree)
+                    run.env[block.output_name] = self._execute_block(
+                        block, tree, run, taps
+                    )
+                    pending_blocks.remove(block)
+                    progressed = True
+            for boundary in list(pending_boundaries):
+                if boundary.input_name in run.env:
+                    self._execute_boundary(boundary, run, taps)
+                    pending_boundaries.remove(boundary)
+                    progressed = True
+            if not progressed:  # pragma: no cover - analysis emits a DAG
+                raise TableError("streaming execution deadlocked")
+
+        run.observations = taps.collect()
+        return run
+
+    # ------------------------------------------------------------------
+    def _execute_boundary(self, boundary, run: WorkflowRun, taps) -> None:
+        node = boundary.node
+        table = run.env[boundary.input_name]
+        if isinstance(node, Target):
+            run.targets[node.name] = table
+            return
+        if isinstance(node, Aggregate):
+            out = group_by(table, node.group_attrs, node.aggregates)
+        elif isinstance(node, AggregateUDF):
+            from repro.engine.physical import apply_aggregate_udf
+
+            out = apply_aggregate_udf(table, node.fn)
+        elif isinstance(node, Materialize):
+            out = table
+        else:  # pragma: no cover
+            raise TableError(f"unexpected boundary {node.label}")
+        run.env[boundary.output_name] = out
+        out_se = SubExpression.of(boundary.output_name)
+        run.se_sizes[out_se] = out.num_rows
+        # no tap here: the downstream block's raw-stage stream observes this
+        # SE; tapping both points would double-count in streaming mode
+
+    def _execute_block(
+        self, block: Block, tree: PlanTree, run: WorkflowRun, taps
+    ) -> Table:
+        wanted_rejects = taps.reject_requests() | set(block.materialized_rejects)
+        counts: dict[AnySE, int] = defaultdict(int)
+
+        # each floating op fires at the lowest tree node containing its
+        # anchor (same placement as the columnar executor)
+        ops_at: dict[AnySE, list] = defaultdict(list)
+        placed: set[int] = set()
+
+        def place_ops(node: PlanTree) -> None:
+            if isinstance(node, JoinNode):
+                place_ops(node.left)
+                place_ops(node.right)
+            for idx, op in enumerate(block.floating):
+                if idx not in placed and op.anchor <= node.se.relations:
+                    ops_at[node.se].append(op)
+                    placed.add(idx)
+
+        place_ops(tree)
+
+        def tap_stream(se: AnySE, rows: Iterator[Row]) -> Iterator[Row]:
+            counts[se] += 0  # register the point even if no row passes
+            for row in rows:
+                counts[se] += 1
+                taps.observe_row(se, row)
+                yield row
+
+        def input_stream(name: str) -> Iterator[Row]:
+            inp = block.inputs[name]
+            rows: Iterator[Row] = _table_rows(run.env[inp.base_name])
+            stage_names = inp.stage_names()
+            raw_se = SubExpression.of(stage_names[0])
+            if raw_se in self._claimed_points:
+                pass  # size and stats already captured by the first consumer
+            else:
+                self._claimed_points.add(raw_se)
+                rows = tap_stream(raw_se, rows)
+            for step, stage in zip(inp.steps, stage_names[1:]):
+                rows = _apply_step_stream(rows, step)
+                rows = tap_stream(SubExpression.of(stage), rows)
+            return rows
+
+        def exec_tree(node: PlanTree) -> Iterator[Row]:
+            if isinstance(node, Leaf):
+                return input_stream(node.name)
+            return join_stream(node)
+
+        def join_stream(node: JoinNode) -> Iterator[Row]:
+            key = tuple(node.key)
+            rej_key = key[0] if len(key) == 1 else key
+            rej_left = RejectSE(node.left.se, rej_key, node.right.se)
+            rej_right = RejectSE(node.right.se, rej_key, node.left.se)
+            want_left = rej_left in wanted_rejects
+            want_right = rej_right in wanted_rejects
+
+            # build the right side (materialized), stream the left
+            build: dict[tuple, list[Row]] = defaultdict(list)
+            build_rows: list[Row] = []
+            for row in exec_tree(node.right):
+                build[tuple(row[a] for a in key)].append(row)
+                build_rows.append(row)
+            matched_keys: set[tuple] = set()
+
+            def generate() -> Iterator[Row]:
+                reject_left_rows: list[Row] = []
+                for row in exec_tree(node.left):
+                    kv = tuple(row[a] for a in key)
+                    matches = build.get(kv)
+                    if not matches:
+                        if want_left:
+                            reject_left_rows.append(row)
+                        continue
+                    if want_right:
+                        matched_keys.add(kv)
+                    for other in matches:
+                        merged = dict(other)
+                        merged.update(row)
+                        for op in ops_at.get(node.se, ()):
+                            merged = _apply_step_row(merged, op.step)
+                        yield merged
+                # probe exhausted: emit reject links
+                if want_left:
+                    self._note_reject(
+                        run, taps, rej_left, reject_left_rows, block, node.left.se
+                    )
+                if want_right:
+                    rejected = [
+                        r
+                        for r in build_rows
+                        if tuple(r[a] for a in key) not in matched_keys
+                    ]
+                    self._note_reject(
+                        run, taps, rej_right, rejected, block, node.right.se
+                    )
+
+            return tap_stream(node.se, generate())
+
+        # floating ops fire once their anchor is joined; handled per row
+        final_rows: list[Row] = []
+        stream = exec_tree(tree)
+        for row in stream:
+            final_rows.append(row)
+
+        out_attrs = block.se_attrs(tree.se)
+        table = _rows_table(final_rows, tuple(out_attrs))
+        for se, n in counts.items():
+            run.se_sizes[se] = n
+
+        for step, stage in zip(block.post_steps, block.post_stage_ses()):
+            rows = _apply_step_stream(_table_rows(table), step)
+            collected = list(tap_stream(stage, rows))
+            table = _rows_table(collected, tuple(step.out_attrs))
+            run.se_sizes[stage] = table.num_rows
+        for se, n in counts.items():
+            run.se_sizes[se] = n
+        return table
+
+    def _note_reject(
+        self, run, taps, rej: RejectSE, rows: list[Row], block: Block, src_se
+    ) -> None:
+        attrs = tuple(block.se_attrs(src_se))
+        table = _rows_table(rows, attrs)
+        run.rejects[rej] = table
+        run.se_sizes[rej] = table.num_rows
+        for row in rows:
+            taps.observe_row(rej, row)
+
+
+def _apply_step_row(row: Row, step: Step) -> Row | None:
+    node = step.node
+    if step.kind == "filter":
+        return row if node.predicate.fn(row[step.attrs[0]]) else None
+    if step.kind == "transform":
+        out_attr = step.result_attr if step.result_attr else step.attrs[0]
+        new = dict(row)
+        if len(step.attrs) == 1:
+            new[out_attr] = node.udf.fn(row[step.attrs[0]])
+        else:
+            new[out_attr] = node.udf.fn(tuple(row[a] for a in step.attrs))
+        return new
+    if step.kind == "project":
+        return {a: row[a] for a in step.attrs}
+    raise TableError(f"unknown step kind {step.kind!r}")
+
+
+def _apply_step_stream(rows: Iterator[Row], step: Step) -> Iterator[Row]:
+    for row in rows:
+        out = _apply_step_row(row, step)
+        if out is not None:
+            yield out

@@ -1,0 +1,101 @@
+"""In-memory columnar tables: the record-sets the ETL engine moves around.
+
+The paper's engine is DataStage; ours is a small columnar executor whose
+only jobs are (a) running workflows faithfully enough to produce ground
+truth, and (b) exposing per-tuple observation points for statistics
+instrumentation (Section 3.2.5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.histogram import Histogram
+
+
+class TableError(ValueError):
+    """Raised for malformed tables and invalid column access."""
+
+
+class Table:
+    """An immutable-by-convention columnar table."""
+
+    __slots__ = ("attrs", "columns", "_nrows")
+
+    def __init__(self, columns: dict[str, list]):
+        if not columns:
+            raise TableError("a table needs at least one column")
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) > 1:
+            raise TableError(f"ragged columns: lengths {sorted(lengths)}")
+        self.attrs = tuple(columns)
+        self.columns = dict(columns)
+        self._nrows = next(iter(lengths))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, attrs: Sequence[str], rows: Iterable[tuple]) -> "Table":
+        attrs = tuple(attrs)
+        columns: dict[str, list] = {a: [] for a in attrs}
+        for row in rows:
+            if len(row) != len(attrs):
+                raise TableError(f"row {row!r} does not match attrs {attrs}")
+            for a, v in zip(attrs, row):
+                columns[a].append(v)
+        return cls(columns)
+
+    @classmethod
+    def empty(cls, attrs: Sequence[str]) -> "Table":
+        return cls({a: [] for a in attrs})
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def column(self, attr: str) -> list:
+        try:
+            return self.columns[attr]
+        except KeyError:
+            raise TableError(
+                f"no column {attr!r}; available: {self.attrs}"
+            ) from None
+
+    def has_column(self, attr: str) -> bool:
+        return attr in self.columns
+
+    def rows(self, attrs: Sequence[str] | None = None) -> Iterable[tuple]:
+        attrs = tuple(attrs) if attrs is not None else self.attrs
+        cols = [self.column(a) for a in attrs]
+        return zip(*cols) if cols else iter(())
+
+    def row_dicts(self) -> list[dict]:
+        return [dict(zip(self.attrs, row)) for row in self.rows()]
+
+    def take(self, indexes: Sequence[int]) -> "Table":
+        return Table(
+            {a: [col[i] for i in indexes] for a, col in self.columns.items()}
+        )
+
+    def with_column(self, attr: str, values: list) -> "Table":
+        if len(values) != self._nrows:
+            raise TableError("new column length does not match table")
+        columns = dict(self.columns)
+        columns[attr] = list(values)
+        return Table(columns)
+
+    def select_columns(self, attrs: Sequence[str]) -> "Table":
+        return Table({a: self.column(a) for a in attrs})
+
+    def histogram(self, attrs: Sequence[str]) -> Histogram:
+        """Exact frequency histogram over the given attributes."""
+        return Histogram.from_rows(tuple(attrs), self.rows(attrs))
+
+    def distinct_count(self, attrs: Sequence[str]) -> int:
+        return len(set(self.rows(attrs)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self._nrows} rows, attrs={self.attrs})"

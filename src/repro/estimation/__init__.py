@@ -1,0 +1,21 @@
+"""Estimation and cost-based plan selection from learned statistics."""
+
+from repro.estimation.calculator import (
+    CalculationError,
+    StatisticsCalculator,
+    compute_statistics,
+)
+from repro.estimation.costmodel import CostModelError, PlanCostModel
+from repro.estimation.bootstrap import bootstrap_se_sizes
+from repro.estimation.estimator import CardinalityEstimator, EstimationError
+from repro.estimation.optimizer import OptimizedPlan, PlanOptimizer, optimize_workflow
+from repro.estimation.physical import JoinAlgorithm, PhysicalPlanner, physical_plans
+from repro.estimation.whatif import PlanRanking, rank_plans, rank_workflow
+
+__all__ = [
+    "bootstrap_se_sizes", "CalculationError", "CardinalityEstimator",
+    "compute_statistics", "CostModelError", "EstimationError",
+    "JoinAlgorithm", "OptimizedPlan", "physical_plans", "PhysicalPlanner",
+    "PlanCostModel", "PlanOptimizer", "PlanRanking", "rank_plans",
+    "rank_workflow", "StatisticsCalculator", "optimize_workflow",
+]

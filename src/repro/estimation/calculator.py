@@ -1,0 +1,169 @@
+"""Evaluating CSSs: turning observed statistics into computed ones.
+
+This module is the semantic half of the rule set (Section 4.1): the
+generator records *which* statistics suffice, the calculator knows *how* to
+combine them.  Given the observed values from an instrumented run, it runs
+the CSS catalog to a fixpoint, computing every statistic whose inputs are
+available -- in particular the cardinality of every SE in ℰ, which is what
+the cost-based optimizer consumes.
+
+Because the source histograms are exact (one bucket per value), every
+computed cardinality is exact too; the tests assert equality against brute
+force.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.css import CSS, CssCatalog
+from repro.core.histogram import Histogram
+from repro.core.statistics import Statistic, StatisticsStore
+
+
+class CalculationError(ValueError):
+    """Raised when a CSS evaluation is malformed."""
+
+
+def join_histograms(
+    h1: Histogram, h2: Histogram, key: tuple[str, ...], bs: tuple[str, ...]
+) -> Histogram:
+    """Generalized J2: histogram of ``bs`` on the join of two relations.
+
+    ``h1`` / ``h2`` are joint histograms carrying the join key plus the
+    ``bs`` attributes each side owns; buckets matching on the key multiply.
+    """
+    key = tuple(sorted(key))
+    bs = tuple(sorted(bs))
+    k1 = [h1.attrs.index(a) for a in key]
+    k2 = [h2.attrs.index(a) for a in key]
+    pulls: list[tuple[int, int]] = []  # (source: 1|2, position)
+    for attr in bs:
+        if attr in h1.attrs:
+            pulls.append((1, h1.attrs.index(attr)))
+        elif attr in h2.attrs:
+            pulls.append((2, h2.attrs.index(attr)))
+        else:
+            raise CalculationError(f"attribute {attr!r} on neither input")
+    # index h2 buckets by key value
+    by_key: dict[tuple, list[tuple[tuple, float]]] = {}
+    for bucket, freq in h2.counts.items():
+        by_key.setdefault(tuple(bucket[i] for i in k2), []).append((bucket, freq))
+    out: dict[tuple, float] = {}
+    for bucket1, freq1 in h1.counts.items():
+        kv = tuple(bucket1[i] for i in k1)
+        for bucket2, freq2 in by_key.get(kv, ()):
+            value = tuple(
+                bucket1[pos] if src == 1 else bucket2[pos] for src, pos in pulls
+            )
+            out[value] = out.get(value, 0) + freq1 * freq2
+    return Histogram(bs, out)
+
+
+def group_distinct(h: Histogram, bs: tuple[str, ...]) -> Histogram:
+    """Rule G2: per-``bs`` count of distinct group-key buckets.
+
+    After ``G(T, a)`` every group contributes one row, so the frequency of a
+    ``bs``-value in the output is the number of distinct ``a``-buckets
+    projecting to it.
+    """
+    bs = tuple(sorted(bs))
+    positions = [h.attrs.index(a) for a in bs]
+    out: dict[tuple, float] = {}
+    for bucket in h.counts:
+        sub = tuple(bucket[i] for i in positions)
+        out[sub] = out.get(sub, 0) + 1
+    return Histogram(bs, out)
+
+
+class StatisticsCalculator:
+    """Fixpoint evaluation of a CSS catalog over observed statistics."""
+
+    def __init__(self, catalog: CssCatalog, observed: StatisticsStore):
+        self.catalog = catalog
+        self.values = observed.copy()
+
+    # ------------------------------------------------------------------
+    def compute_all(self) -> StatisticsStore:
+        """Evaluate every computable statistic (bottom-up fixpoint)."""
+        waiting: dict[Statistic, list[CSS]] = {}
+        remaining: dict[int, int] = {}
+        entries: list[CSS] = [
+            css for bucket in self.catalog.css.values() for css in bucket
+        ]
+        ready: deque[CSS] = deque()
+        for idx, css in enumerate(entries):
+            missing = [s for s in set(css.inputs) if s not in self.values]
+            remaining[id(css)] = len(missing)
+            if not missing:
+                ready.append(css)
+            for s in missing:
+                waiting.setdefault(s, []).append(css)
+        while ready:
+            css = ready.popleft()
+            if css.target in self.values:
+                continue
+            self.values.put(css.target, self._evaluate(css))
+            for dependent in waiting.get(css.target, []):
+                remaining[id(dependent)] -= 1
+                if remaining[id(dependent)] == 0:
+                    ready.append(dependent)
+        return self.values
+
+    def computable(self, stat: Statistic) -> bool:
+        return stat in self.values
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, css: CSS):
+        rule = css.rule
+        values = [self.values.get(s) for s in css.inputs]
+        target = css.target
+        if rule == "J1":
+            h1, h2 = values
+            return h1.dot(h2)
+        if rule == "J2":
+            key = tuple(css.ctx("key"))
+            bs = tuple(css.ctx("bs"))
+            return join_histograms(values[0], values[1], key, bs)
+        if rule == "J3":
+            return values[0].multiply(values[1])
+        if rule == "J4":
+            h_big, h_t3, rej_card = values
+            survived = h_big.divide(h_t3).total()
+            return survived + rej_card
+        if rule == "J5":
+            h_big, h_t3, h_rej = values
+            bs = tuple(sorted(css.ctx("bs")))
+            survived = h_big.divide(h_t3).marginalize(bs)
+            return survived.add(h_rej)
+        if rule == "S1":
+            step = self.catalog.step(css.ctx("step"))
+            predicate = step.node.predicate.fn
+            return values[0].select(step.attrs[0], predicate).total()
+        if rule == "S2":
+            step = self.catalog.step(css.ctx("step"))
+            predicate = step.node.predicate.fn
+            bs = tuple(sorted(css.ctx("bs")))
+            return (
+                values[0].select(step.attrs[0], predicate).marginalize(bs)
+            )
+        if rule in ("U1", "P1", "B1", "FK", "G1"):
+            return values[0]
+        if rule in ("U2", "P2"):
+            return values[0]
+        if rule == "G2":
+            return group_distinct(values[0], tuple(css.ctx("bs")))
+        if rule == "D1":
+            return values[0].distinct_count()
+        if rule == "I1":
+            return values[0].total()
+        if rule == "I2":
+            return values[0].marginalize(target.attrs)
+        raise CalculationError(f"unknown rule {rule!r}")
+
+
+def compute_statistics(
+    catalog: CssCatalog, observed: StatisticsStore
+) -> StatisticsStore:
+    """Convenience wrapper: run the calculator to its fixpoint."""
+    return StatisticsCalculator(catalog, observed).compute_all()

@@ -1,0 +1,136 @@
+"""What-if plan analysis: rank every alternative under learned statistics.
+
+The framework's guarantee is that *any* re-ordering can be costed.  This
+module makes that tangible: enumerate a block's plan space, cost every tree
+with the learned cardinalities, and report the ranking -- where the initial
+plan sits, how much the optimum saves, and how bad the worst choice would
+have been (the risk the designer was carrying).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.blocks import Block, BlockAnalysis
+from repro.algebra.expressions import AnySE
+from repro.algebra.plans import PlanTree, tree_splits
+from repro.estimation.costmodel import PlanCostModel
+
+#: enumeration guard for very large plan spaces (8-way cliques)
+MAX_PLANS = 4096
+
+
+@dataclass(frozen=True)
+class RankedPlan:
+    """One plan with its estimated cost and rank (1 = best)."""
+
+    rank: int
+    cost: float
+    tree: PlanTree
+    is_initial: bool
+
+
+@dataclass
+class PlanRanking:
+    """The full cost ranking of a block's plan space."""
+
+    block: Block
+    plans: list[RankedPlan]
+    truncated: bool = False
+
+    @property
+    def best(self) -> RankedPlan:
+        return self.plans[0]
+
+    @property
+    def worst(self) -> RankedPlan:
+        return self.plans[-1]
+
+    @property
+    def initial(self) -> RankedPlan:
+        for plan in self.plans:
+            if plan.is_initial:
+                return plan
+        raise LookupError("initial plan not in the ranking")  # pragma: no cover
+
+    @property
+    def initial_rank(self) -> int:
+        return self.initial.rank
+
+    @property
+    def speedup_available(self) -> float:
+        """initial cost / best cost (1.0 = the designer already won)."""
+        if self.best.cost == 0:
+            return 1.0
+        return self.initial.cost / self.best.cost
+
+    @property
+    def risk_avoided(self) -> float:
+        """worst cost / best cost -- the spread cost-based choice prevents."""
+        if self.best.cost == 0:
+            return 1.0
+        return self.worst.cost / self.best.cost
+
+    def describe(self, top: int = 5) -> str:
+        lines = [
+            f"{self.block.name}: {len(self.plans)} plans"
+            + (" (truncated)" if self.truncated else "")
+            + f"; initial ranks {self.initial_rank}"
+            f"; speedup available {self.speedup_available:.2f}x"
+            f"; worst/best spread {self.risk_avoided:.2f}x"
+        ]
+        for plan in self.plans[:top]:
+            marker = " <- initial" if plan.is_initial else ""
+            lines.append(
+                f"  #{plan.rank} cost={plan.cost:g} {plan.tree!r}{marker}"
+            )
+        if self.initial_rank > top:
+            plan = self.initial
+            lines.append(
+                f"  ... #{plan.rank} cost={plan.cost:g} {plan.tree!r} <- initial"
+            )
+        return "\n".join(lines)
+
+
+def rank_plans(
+    block: Block,
+    cardinalities: dict[AnySE, float],
+    metric: str = "cout",
+    limit: int = MAX_PLANS,
+) -> PlanRanking:
+    """Cost every plan of a block; requires full SE coverage (which the
+    statistics framework guarantees)."""
+    model = PlanCostModel(cardinalities, metric=metric)
+    trees = block.graph.enumerate_trees(limit=limit)
+    truncated = len(trees) >= limit
+    # equi-joins are symmetric: two trees are the same logical plan iff
+    # they realize the same set of joins
+    initial_key = frozenset(tree_splits(block.initial_tree))
+    scored = sorted(
+        ((model.tree_cost(tree), repr(tree), tree) for tree in trees),
+        key=lambda item: (item[0], item[1]),
+    )
+    plans = [
+        RankedPlan(
+            rank=i + 1,
+            cost=cost,
+            tree=tree,
+            is_initial=(frozenset(tree_splits(tree)) == initial_key),
+        )
+        for i, (cost, _tree_repr, tree) in enumerate(scored)
+    ]
+    return PlanRanking(block=block, plans=plans, truncated=truncated)
+
+
+def rank_workflow(
+    analysis: BlockAnalysis,
+    cardinalities: dict[AnySE, float],
+    metric: str = "cout",
+) -> dict[str, PlanRanking]:
+    """Rankings for every re-orderable block."""
+    out: dict[str, PlanRanking] = {}
+    for block in analysis.blocks:
+        if block.pinned or block.n_way < 2:
+            continue
+        out[block.name] = rank_plans(block, cardinalities, metric=metric)
+    return out

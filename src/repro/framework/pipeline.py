@@ -1,0 +1,170 @@
+"""The end-to-end optimization process of Figure 2.
+
+1. start with the user-defined initial plan;
+2. identify optimizable blocks;
+3. generate all possible SEs;
+4. generate the candidate statistics sets;
+5. determine the minimal-cost set of statistics to observe;
+6. instrument the plan and run it, gathering the statistics;
+7. cost alternative plans and pick the best for future runs.
+
+:class:`StatisticsPipeline` wires the pieces together; one call to
+:meth:`StatisticsPipeline.run_once` performs steps 1-7 and returns the
+chosen plans plus everything observed along the way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.blocks import BlockAnalysis, analyze, with_plans
+from repro.algebra.operators import Workflow
+from repro.algebra.plans import PlanTree
+from repro.core.costs import CostModel
+from repro.core.css import CssCatalog
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.ilp import solve_ilp
+from repro.core.selection import SelectionResult, build_problem
+from repro.core.statistics import Statistic
+from repro.engine.executor import Executor, WorkflowRun
+from repro.engine.instrumentation import TapSet
+from repro.engine.table import Table
+from repro.estimation.estimator import CardinalityEstimator
+from repro.estimation.optimizer import OptimizedPlan, PlanOptimizer
+
+
+@dataclass
+class PipelineReport:
+    """Everything one observe-and-optimize cycle produced."""
+
+    analysis: BlockAnalysis
+    catalog: CssCatalog
+    selection: SelectionResult
+    run: WorkflowRun
+    estimator: CardinalityEstimator
+    plans: dict[str, OptimizedPlan]
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def chosen_trees(self) -> dict[str, PlanTree]:
+        return {name: plan.tree for name, plan in self.plans.items()}
+
+    @property
+    def total_estimated_cost(self) -> float:
+        return sum(p.cost for p in self.plans.values())
+
+    @property
+    def total_initial_cost(self) -> float:
+        return sum(p.initial_cost for p in self.plans.values())
+
+    def describe(self) -> str:
+        lines = [
+            f"observed {len(self.selection.observed_indexes)} statistics "
+            f"(cost {self.selection.total_cost:g}, "
+            f"method {self.selection.method})",
+            f"plan cost: initial {self.total_initial_cost:g} -> "
+            f"optimized {self.total_estimated_cost:g}",
+        ]
+        for name, plan in self.plans.items():
+            marker = "*" if plan.improved else " "
+            lines.append(f" {marker} {name}: {plan.tree!r} (cost {plan.cost:g})")
+        return "\n".join(lines)
+
+
+@dataclass
+class StatisticsPipeline:
+    """Configurable Figure-2 pipeline for a single workflow."""
+
+    workflow: Workflow
+    generator_options: GeneratorOptions = field(default_factory=GeneratorOptions)
+    solver: str = "ilp"  # "ilp" | "greedy"
+    executor: str = "columnar"  # "columnar" | "streaming"
+    cost_metric: str = "cout"
+    free_statistics: set[Statistic] = field(default_factory=set)
+    memory_weight: float = 1.0
+    cpu_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.analysis = analyze(self.workflow)
+        self.catalog = generate_css(self.analysis, self.generator_options)
+        self._se_sizes: dict = {}
+
+    # -- steps 4-5 ---------------------------------------------------------
+    def cost_model(self) -> CostModel:
+        return CostModel(
+            self.workflow.catalog,
+            se_sizes=dict(self._se_sizes),
+            memory_weight=self.memory_weight,
+            cpu_weight=self.cpu_weight,
+        )
+
+    def select_statistics(self) -> SelectionResult:
+        problem = build_problem(
+            self.catalog, self.cost_model(), free_statistics=self.free_statistics
+        )
+        if self.solver == "greedy":
+            return solve_greedy(problem)
+        return solve_ilp(problem)
+
+    # -- steps 6-7 ---------------------------------------------------------
+    def run_once(
+        self,
+        sources: dict[str, Table],
+        trees: dict[str, PlanTree] | None = None,
+    ) -> PipelineReport:
+        """One full observe-and-optimize cycle.
+
+        ``trees`` overrides the executed plans (defaults to the initial
+        plan on the first cycle, or whatever the previous cycle chose).
+        Because observability is a property of the *executed* plan, the
+        whole identification stage (SEs -> CSSs -> selection) is re-derived
+        against the overridden plans, exactly as the paper's cycle repeats
+        from the currently-best plan.
+        """
+        timings: dict[str, float] = {}
+
+        if trees:
+            analysis = with_plans(self.analysis, trees)
+            catalog = generate_css(analysis, self.generator_options)
+        else:
+            analysis, catalog = self.analysis, self.catalog
+
+        t0 = time.perf_counter()
+        problem = build_problem(
+            catalog, self.cost_model(), free_statistics=self.free_statistics
+        )
+        selection = (
+            solve_greedy(problem) if self.solver == "greedy" else solve_ilp(problem)
+        )
+        timings["selection"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if self.executor == "streaming":
+            from repro.engine.streaming import StreamExecutor, StreamingTaps
+
+            taps = StreamingTaps(selection.observed)
+            run = StreamExecutor(analysis).run(sources, taps=taps)
+        else:
+            taps = TapSet(selection.observed)
+            run = Executor(analysis).run(sources, taps=taps)
+        timings["execution"] = time.perf_counter() - t0
+        self._se_sizes = dict(run.se_sizes)  # feeds next cycle's CPU costs
+
+        t0 = time.perf_counter()
+        estimator = CardinalityEstimator(catalog, run.observations)
+        plans = PlanOptimizer(
+            analysis, estimator.all_cardinalities(), metric=self.cost_metric
+        ).optimize()
+        timings["optimization"] = time.perf_counter() - t0
+
+        return PipelineReport(
+            analysis=analysis,
+            catalog=catalog,
+            selection=selection,
+            run=run,
+            estimator=estimator,
+            plans=plans,
+            timings=timings,
+        )

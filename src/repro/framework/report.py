@@ -1,0 +1,114 @@
+"""Run reports: a human-readable account of one observe-and-optimize cycle.
+
+Renders a :class:`~repro.framework.pipeline.PipelineReport` as markdown:
+which statistics were chosen and why they were cheap, what the instrumented
+run observed, the cardinality of every sub-expression, the plan change per
+block, and (optionally) the physical operator decisions.  Useful as a
+nightly artifact next to the load logs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.estimation.physical import physical_plans
+from repro.framework.pipeline import PipelineReport
+
+
+def render_report(
+    report: PipelineReport,
+    include_physical: bool = True,
+    include_estimates: bool = True,
+) -> str:
+    """Render one observe-and-optimize cycle as a markdown document."""
+    lines: list[str] = []
+    workflow = report.analysis.workflow
+    lines.append(f"# Statistics run report — {workflow.name}")
+    lines.append("")
+
+    # -- structure -------------------------------------------------------
+    lines.append("## Optimizable blocks")
+    lines.append("")
+    for block in report.analysis.blocks:
+        flags = []
+        if block.pinned:
+            flags.append("pinned")
+        if block.post_steps:
+            flags.append(f"{len(block.post_steps)} post-step(s)")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        lines.append(
+            f"- **{block.name}**: {block.n_way}-way join over "
+            f"{', '.join(sorted(block.inputs))}{suffix}"
+        )
+    lines.append("")
+
+    # -- selection ---------------------------------------------------------
+    selection = report.selection
+    lines.append("## Observed statistics")
+    lines.append("")
+    lines.append(
+        f"{len(selection.observed_indexes)} statistics, total cost "
+        f"{selection.total_cost:g} ({selection.method})."
+    )
+    lines.append("")
+    lines.append("| statistic | cost |")
+    lines.append("|---|---|")
+    for stat in selection.observed:
+        cost = selection.problem.costs[selection.problem.index[stat]]
+        lines.append(f"| `{stat!r}` | {cost:g} |")
+    lines.append("")
+
+    # -- estimates ---------------------------------------------------------
+    if include_estimates:
+        lines.append("## Learned cardinalities")
+        lines.append("")
+        lines.append("| sub-expression | rows |")
+        lines.append("|---|---|")
+        for se, card in sorted(
+            report.estimator.all_cardinalities().items(), key=lambda kv: repr(kv[0])
+        ):
+            lines.append(f"| `{se!r}` | {card:.0f} |")
+        lines.append("")
+
+    # -- plans -------------------------------------------------------------
+    lines.append("## Plan decisions")
+    lines.append("")
+    for name, plan in report.plans.items():
+        marker = "changed" if plan.improved else "kept"
+        lines.append(
+            f"- **{name}** ({marker}): `{plan.tree!r}` — estimated cost "
+            f"{plan.cost:g} (initial {plan.initial_cost:g})"
+        )
+    lines.append("")
+
+    if include_physical:
+        lines.append("## Physical operator choices")
+        lines.append("")
+        plans = physical_plans(
+            report.analysis,
+            report.estimator.all_cardinalities(),
+            trees=report.chosen_trees,
+        )
+        for name, physical in plans.items():
+            for join in physical.joins:
+                lines.append(
+                    f"- {name}: `{join.se!r}` via **{join.algorithm.value}** "
+                    f"(cost {join.cost:g})"
+                )
+        if not any(p.joins for p in plans.values()):
+            lines.append("- no joins (linear flow)")
+        lines.append("")
+
+    # -- timings -----------------------------------------------------------
+    lines.append("## Timings")
+    lines.append("")
+    for phase, seconds in report.timings.items():
+        lines.append(f"- {phase}: {seconds * 1e3:.1f} ms")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(report: PipelineReport, path: str | Path, **kwargs) -> str:
+    """Render and persist a run report; returns the markdown text."""
+    text = render_report(report, **kwargs)
+    Path(path).write_text(text)
+    return text

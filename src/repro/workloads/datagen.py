@@ -1,0 +1,123 @@
+"""Synthetic data generation: Zipfian tables for the benchmark suite.
+
+Section 7: *"The data characteristics of the input relations like table
+cardinalities, unique values of an attribute ... are synthetically
+generated ... from Zipfian distribution with a high skew."*
+
+Value columns are sampled from a Zipf(s) distribution over the attribute's
+domain, with the rank-to-value mapping shuffled per (seed, relation, attr)
+so the skew does not always hit the same ids.  Everything is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from itertools import accumulate
+
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One attribute: its domain size and Zipf skew.
+
+    ``serial=True`` makes the column a shuffled enumeration of the domain
+    (a primary key): with cardinality == domain every value appears exactly
+    once, which is what makes foreign-key joins true lookups.
+    """
+
+    domain: int
+    skew: float = 1.1
+    serial: bool = False
+
+
+@dataclass
+class TableSpec:
+    """Recipe for one synthetic relation."""
+
+    name: str
+    cardinality: int
+    columns: dict[str, ColumnSpec] = field(default_factory=dict)
+
+    def column(
+        self, attr: str, domain: int, skew: float = 1.1, serial: bool = False
+    ) -> "TableSpec":
+        self.columns[attr] = ColumnSpec(domain, skew, serial)
+        return self
+
+
+class ZipfSampler:
+    """Samples ranks 1..domain with P(k) proportional to 1/k^s."""
+
+    def __init__(self, domain: int, skew: float, rng: random.Random):
+        if domain <= 0:
+            raise ValueError("domain must be positive")
+        self.domain = domain
+        weights = [1.0 / (k**skew) for k in range(1, domain + 1)]
+        self._cum = list(accumulate(weights))
+        self._total = self._cum[-1]
+        self._rng = rng
+        # shuffle the rank -> value mapping so skew lands on random ids
+        self._values = list(range(1, domain + 1))
+        rng.shuffle(self._values)
+
+    def sample(self) -> int:
+        u = self._rng.random() * self._total
+        rank = bisect_left(self._cum, u)
+        return self._values[min(rank, self.domain - 1)]
+
+    def sample_many(self, n: int) -> list[int]:
+        return [self.sample() for _ in range(n)]
+
+
+def generate_table(spec: TableSpec, seed: int = 0) -> Table:
+    """Materialize one relation from its spec (deterministic per seed)."""
+    columns: dict[str, list] = {}
+    for attr, col in spec.columns.items():
+        # string seeds hash deterministically across processes (unlike
+        # tuple hashes, which PYTHONHASHSEED randomizes)
+        rng = random.Random(f"{seed}/{spec.name}/{attr}")
+        if col.serial:
+            values = list(range(1, col.domain + 1))
+            rng.shuffle(values)
+            # cycle if the table is larger than the key domain
+            columns[attr] = [
+                values[i % col.domain] for i in range(spec.cardinality)
+            ]
+        else:
+            sampler = ZipfSampler(col.domain, col.skew, rng)
+            columns[attr] = sampler.sample_many(spec.cardinality)
+    return Table(columns)
+
+
+def generate_tables(
+    specs: dict[str, TableSpec] | list[TableSpec], seed: int = 0
+) -> dict[str, Table]:
+    """Materialize a set of relations, keyed by name."""
+    if isinstance(specs, dict):
+        specs = list(specs.values())
+    return {spec.name: generate_table(spec, seed) for spec in specs}
+
+
+def zipf_sizes(
+    n: int,
+    max_size: int,
+    min_size: int,
+    skew: float,
+    rng: random.Random,
+) -> list[int]:
+    """Rank-size Zipfian cardinalities in [min_size, max_size].
+
+    Used to draw the per-relation cardinalities of the benchmark suite so
+    their summary statistics resemble the paper's data-characteristics
+    table (strong right skew: mean well above median, min << max).
+    """
+    if n <= 0:
+        return []
+    raw = [max_size / (k**skew) for k in range(1, n + 1)]
+    sizes = [max(min_size, int(round(v))) for v in raw]
+    rng.shuffle(sizes)
+    return sizes

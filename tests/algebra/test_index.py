@@ -1,0 +1,101 @@
+"""Unit tests for the shared SE index."""
+
+import pytest
+
+from repro.algebra.blocks import analyze
+from repro.algebra.expressions import RejectJoinSE, RejectSE, SubExpression
+from repro.algebra.index import SEIndex
+from repro.algebra.operators import (
+    Filter,
+    Join,
+    Predicate,
+    Source,
+    Target,
+    Workflow,
+)
+from repro.algebra.schema import Catalog
+
+SE = SubExpression.of
+
+
+@pytest.fixture
+def indexed():
+    cat = Catalog()
+    cat.add_relation("A", {"k": 5, "v": 9})
+    cat.add_relation("B", {"k": 5, "m": 4})
+    cat.add_relation("C", {"m": 4})
+    a = Filter(Source(cat, "A"), "v", Predicate("p", lambda v: v > 2))
+    flow = Join(Join(a, Source(cat, "B"), "k"), Source(cat, "C"), "m")
+    wf = Workflow("w", cat, [Target(flow, "out")])
+    analysis = analyze(wf)
+    return analysis, SEIndex(analysis)
+
+
+class TestSEIndex:
+    def test_block_of_join_se(self, indexed):
+        analysis, index = indexed
+        block = analysis.blocks[0]
+        filtered = [n for n in block.inputs if n.startswith("A@")][0]
+        assert index.block_of(SE(filtered, "B")) is block
+
+    def test_block_of_stage_se(self, indexed):
+        analysis, index = indexed
+        assert index.block_of(SE("A")) is analysis.blocks[0]
+
+    def test_block_of_reject_forms(self, indexed):
+        analysis, index = indexed
+        block = analysis.blocks[0]
+        filtered = [n for n in block.inputs if n.startswith("A@")][0]
+        rej = RejectSE(SE(filtered), "k", SE("B"))
+        assert index.block_of(rej) is block
+        rj = RejectJoinSE(rej, "m", SE("C"))
+        assert index.block_of(rj) is block
+
+    def test_unknown_se_raises(self, indexed):
+        _analysis, index = indexed
+        with pytest.raises(KeyError):
+            index.block_of(SE("nope"))
+
+    def test_se_attrs_for_stages(self, indexed):
+        analysis, index = indexed
+        # raw A has both attrs; so does the filtered stage
+        assert set(index.se_attrs(SE("A"))) == {"k", "v"}
+
+    def test_se_attrs_for_reject_join(self, indexed):
+        analysis, index = indexed
+        block = analysis.blocks[0]
+        filtered = [n for n in block.inputs if n.startswith("A@")][0]
+        rej = RejectSE(SE(filtered), "k", SE("B"))
+        rj = RejectJoinSE(rej, "m", SE("C"))
+        # attrs of the side join = source attrs union other attrs
+        assert "m" in index.se_attrs(rj)
+
+    def test_observability(self, indexed):
+        analysis, index = indexed
+        block = analysis.blocks[0]
+        filtered = [n for n in block.inputs if n.startswith("A@")][0]
+        assert index.se_observable(SE(filtered, "B"))  # in initial plan
+        assert not index.se_observable(SE("B", "C"))   # valid SE, off-plan
+        # reject of the first join is instrumentable
+        rej = RejectSE(SE(filtered), "k", SE("B"))
+        assert index.se_observable(rej)
+        # reject join never is
+        assert not index.se_observable(RejectJoinSE(rej, "m", SE("C")))
+
+    def test_reject_join_node_lookup(self, indexed):
+        analysis, index = indexed
+        block = analysis.blocks[0]
+        filtered = [n for n in block.inputs if n.startswith("A@")][0]
+        node = index.reject_join_node(RejectSE(SE(filtered), "k", SE("B")))
+        assert node is not None
+        assert node.se == SE(filtered, "B")
+        # a reject that matches no initial-plan join
+        assert index.reject_join_node(
+            RejectSE(SE("B"), "m", SE("C"))
+        ) is None
+
+    def test_splits_populated(self, indexed):
+        analysis, index = indexed
+        block = analysis.blocks[0]
+        full = block.join_se
+        assert index.splits[full]

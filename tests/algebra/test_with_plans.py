@@ -1,0 +1,72 @@
+"""Tests for re-binding a block's initial plan (plan-override analysis)."""
+
+import pytest
+
+from repro.algebra.blocks import analyze, with_plans
+from repro.algebra.expressions import SubExpression
+from repro.algebra.operators import Join, Source, Target, Workflow, WorkflowError
+from repro.algebra.plans import JoinNode, Leaf
+from repro.algebra.schema import Catalog
+from repro.core.generator import generate_css
+from repro.core.statistics import Statistic
+
+SE = SubExpression.of
+
+
+@pytest.fixture
+def setup():
+    cat = Catalog()
+    cat.add_relation("A", {"k": 5, "m": 4})
+    cat.add_relation("B", {"k": 5})
+    cat.add_relation("C", {"m": 4})
+    flow = Join(Join(Source(cat, "A"), Source(cat, "B"), "k"), Source(cat, "C"), "m")
+    wf = Workflow("w", cat, [Target(flow, "out")])
+    return wf, analyze(wf)
+
+
+class TestWithPlans:
+    def test_rebinds_initial_tree(self, setup):
+        wf, analysis = setup
+        alt = JoinNode(JoinNode(Leaf("A"), Leaf("C"), ("m",)), Leaf("B"), ("k",))
+        rebound = with_plans(analysis, {"B1": alt})
+        assert str(rebound.blocks[0].initial_tree) == str(alt)
+        # the original analysis is untouched
+        assert str(analysis.blocks[0].initial_tree) != str(alt)
+
+    def test_changes_observability(self, setup):
+        wf, analysis = setup
+        alt = JoinNode(JoinNode(Leaf("A"), Leaf("C"), ("m",)), Leaf("B"), ("k",))
+        base_catalog = generate_css(analysis)
+        alt_catalog = generate_css(with_plans(analysis, {"B1": alt}))
+        assert base_catalog.is_observable(Statistic.card(SE("A", "B")))
+        assert not base_catalog.is_observable(Statistic.card(SE("A", "C")))
+        assert alt_catalog.is_observable(Statistic.card(SE("A", "C")))
+        assert not alt_catalog.is_observable(Statistic.card(SE("A", "B")))
+
+    def test_unknown_block_rejected(self, setup):
+        wf, analysis = setup
+        with pytest.raises(WorkflowError, match="unknown blocks"):
+            with_plans(analysis, {"B9": Leaf("A")})
+
+    def test_wrong_leaves_rejected(self, setup):
+        wf, analysis = setup
+        bad = JoinNode(Leaf("A"), Leaf("B"), ("k",))
+        with pytest.raises(WorkflowError, match="cover its inputs"):
+            with_plans(analysis, {"B1": bad})
+
+    def test_pinned_blocks_keep_plan(self):
+        cat = Catalog()
+        cat.add_relation("A", {"k": 5})
+        cat.add_relation("B", {"k": 5})
+        pinned = Join(Source(cat, "A"), Source(cat, "B"), "k", reject_left=True)
+        wf = Workflow("w", cat, [Target(pinned, "out")])
+        analysis = analyze(wf)
+        block = analysis.blocks[0]
+        swapped = JoinNode(Leaf("B"), Leaf("A"), ("k",))
+        rebound = with_plans(analysis, {block.name: swapped})
+        assert str(rebound.blocks[0].initial_tree) == str(block.initial_tree)
+
+    def test_same_tree_is_shared(self, setup):
+        wf, analysis = setup
+        rebound = with_plans(analysis, {"B1": analysis.blocks[0].initial_tree})
+        assert rebound.blocks[0] is analysis.blocks[0]

@@ -1,0 +1,89 @@
+"""Tests for bucketized histograms (the Section 8.1 extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucketized import (
+    BucketizedHistogram,
+    join_estimation_error,
+)
+from repro.core.histogram import Histogram, HistogramError
+
+H = Histogram.single
+
+
+class TestBucketization:
+    def test_total_preserved(self):
+        hist = H("a", {i: i + 1 for i in range(1, 50)})
+        bucketized = BucketizedHistogram.from_histogram(hist, buckets=8)
+        assert bucketized.total() == hist.total()
+        assert bucketized.num_buckets() <= 8
+
+    def test_one_bucket_per_value_is_exact(self):
+        hist = H("a", {1: 3, 2: 5, 3: 7})
+        fine = BucketizedHistogram.from_histogram(hist, buckets=1000)
+        assert fine.num_buckets() == 3
+        assert fine.estimate_join(fine) == hist.dot(hist)
+
+    def test_requires_single_attribute(self):
+        joint = Histogram(("a", "b"), {(1, 2): 1})
+        with pytest.raises(HistogramError):
+            BucketizedHistogram.from_histogram(joint, buckets=4)
+
+    def test_requires_numeric_values(self):
+        with pytest.raises(HistogramError):
+            BucketizedHistogram.from_histogram(H("a", {"x": 1}), buckets=4)
+
+    def test_memory_units_two_per_bucket(self):
+        hist = H("a", {i: 1 for i in range(1, 17)})
+        b = BucketizedHistogram.from_histogram(hist, buckets=4)
+        assert b.memory_units() == 2 * b.num_buckets()
+
+    def test_empty_histogram(self):
+        b = BucketizedHistogram.from_histogram(Histogram(("a",), {}), buckets=4)
+        assert b.total() == 0
+
+    def test_mismatched_attrs_rejected(self):
+        b1 = BucketizedHistogram.from_histogram(H("a", {1: 1}), 4)
+        b2 = BucketizedHistogram.from_histogram(H("b", {1: 1}), 4)
+        with pytest.raises(HistogramError):
+            b1.estimate_join(b2)
+
+
+class TestEstimationError:
+    def test_exact_at_full_resolution(self):
+        h1 = H("a", {i: (i * 7) % 13 + 1 for i in range(1, 30)})
+        h2 = H("a", {i: (i * 5) % 11 + 1 for i in range(1, 30)})
+        exact, estimated, rel = join_estimation_error(h1, h2, buckets=100)
+        assert estimated == pytest.approx(exact)
+        assert rel == pytest.approx(0.0)
+
+    def test_error_generally_shrinks_with_buckets(self):
+        """The Section 8.2 space/error trade-off: finer histograms estimate
+        better (on average; assert endpoints)."""
+        import random
+
+        rng = random.Random(5)
+        c1 = {v: rng.randint(1, 50) for v in range(1, 200)}
+        c2 = {v: rng.randint(1, 50) for v in rng.sample(range(1, 200), 120)}
+        h1, h2 = H("a", c1), H("a", c2)
+        _, _, coarse = join_estimation_error(h1, h2, buckets=2)
+        _, _, fine = join_estimation_error(h1, h2, buckets=400)
+        assert fine == pytest.approx(0.0)
+        assert coarse >= fine
+
+    @given(
+        st.dictionaries(st.integers(0, 60), st.integers(1, 9), min_size=1, max_size=30),
+        st.dictionaries(st.integers(0, 60), st.integers(1, 9), min_size=1, max_size=30),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=40)
+    def test_estimate_is_finite_and_nonnegative(self, c1, c2, buckets):
+        exact, estimated, _rel = join_estimation_error(
+            H("a", c1), H("a", c2), buckets
+        )
+        assert estimated >= 0
+        # bucketized totals are preserved, so the estimate is bounded by
+        # the cross product
+        assert estimated <= sum(c1.values()) * sum(c2.values())

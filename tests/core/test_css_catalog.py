@@ -1,0 +1,110 @@
+"""Unit tests for the CSS catalog container."""
+
+import pytest
+
+from repro.algebra.expressions import SubExpression
+from repro.core.css import CSS, CssCatalog, trivial_css
+from repro.core.statistics import Statistic
+
+SE = SubExpression.of
+
+
+def stat_card(name="T1", *more):
+    return Statistic.card(SE(name, *more))
+
+
+class TestCss:
+    def test_context_lookup(self):
+        css = CSS(
+            stat_card(), (Statistic.hist(SE("T1"), "a"),), "J1",
+            (("key", ("a",)),),
+        )
+        assert css.ctx("key") == ("a",)
+        assert css.ctx("missing", 42) == 42
+
+    def test_trivial_flag(self):
+        assert trivial_css(stat_card()).is_trivial
+        css = CSS(stat_card(), (Statistic.hist(SE("T1"), "a"),), "I1")
+        assert not css.is_trivial
+
+    def test_repr_mentions_rule(self):
+        css = CSS(stat_card(), (Statistic.hist(SE("T1"), "a"),), "I1")
+        assert "I1" in repr(css)
+
+
+class TestCssCatalog:
+    def test_add_dedupes(self):
+        catalog = CssCatalog()
+        css = CSS(stat_card(), (Statistic.hist(SE("T1"), "a"),), "I1")
+        assert catalog.add(css)
+        assert not catalog.add(css)
+        assert len(catalog.css_for(stat_card())) == 1
+
+    def test_all_statistics_closure(self):
+        catalog = CssCatalog()
+        h = Statistic.hist(SE("T1"), "a")
+        catalog.add(CSS(stat_card(), (h,), "I1"))
+        catalog.require(stat_card("T2"))
+        catalog.mark_observable(Statistic.card(SE("T3")))
+        stats = catalog.all_statistics
+        assert stat_card() in stats
+        assert h in stats
+        assert stat_card("T2") in stats
+        assert Statistic.card(SE("T3")) in stats
+
+    def test_counts(self):
+        catalog = CssCatalog()
+        h = Statistic.hist(SE("T1"), "a")
+        catalog.add(CSS(stat_card(), (h,), "I1"))
+        catalog.require(stat_card())
+        catalog.mark_observable(h)
+        counts = catalog.counts()
+        assert counts["css"] == 1
+        assert counts["required"] == 1
+        assert counts["observable"] == 1
+
+    def test_closure_fixpoint(self):
+        catalog = CssCatalog()
+        a = stat_card("A")
+        b = stat_card("B")
+        c = stat_card("C")
+        catalog.add(CSS(b, (a,), "B1"))
+        catalog.add(CSS(c, (b,), "B1"))
+        closure = catalog.closure({a})
+        assert closure == {a, b, c}
+        assert catalog.closure(set()) == set()
+
+    def test_closure_needs_all_inputs(self):
+        catalog = CssCatalog()
+        a, b, c = stat_card("A"), stat_card("B"), stat_card("C")
+        catalog.add(CSS(c, (a, b), "J1"))
+        assert c not in catalog.closure({a})
+        assert c in catalog.closure({a, b})
+
+    def test_merge(self):
+        cat1, cat2 = CssCatalog(), CssCatalog()
+        a, b = stat_card("A"), stat_card("B")
+        cat1.add(CSS(b, (a,), "B1"))
+        cat2.require(a)
+        cat2.mark_observable(a)
+        cat1.merge(cat2)
+        assert a in cat1.required
+        assert a in cat1.observable
+        assert cat1.css_for(b)
+
+    def test_describe_lists_flags(self):
+        catalog = CssCatalog()
+        a = stat_card("A")
+        catalog.require(a)
+        catalog.mark_observable(a)
+        catalog.add(CSS(a, (Statistic.hist(SE("A"), "x"),), "I1"))
+        text = catalog.describe()
+        assert "obs" in text and "req" in text and "I1" in text
+
+    def test_nontrivial_filter(self):
+        catalog = CssCatalog()
+        a = stat_card("A")
+        catalog.add(trivial_css(a))
+        catalog.add(CSS(a, (Statistic.hist(SE("A"), "x"),), "I1"))
+        assert len(catalog.css_for(a)) == 2
+        assert len(catalog.nontrivial_css_for(a)) == 1

@@ -1,0 +1,135 @@
+"""Tests for the Section 8 error-aware selection extension."""
+
+import pytest
+
+from repro.algebra.blocks import analyze
+from repro.core.costs import CostModel
+from repro.core.error_aware import (
+    ErrorAwareSelector,
+    select_with_error_budget,
+)
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.core.ilp import solve_ilp
+from repro.core.selection import build_problem
+from repro.core.statistics import StatKind
+from repro.workloads import case
+
+
+@pytest.fixture(scope="module")
+def setup():
+    wfcase = case(16)  # wide join domains -> histogram-heavy optimum
+    workflow = wfcase.build()
+    analysis = analyze(workflow)
+    catalog = generate_css(analysis, GeneratorOptions(fk_rules=False))
+    cost_model = CostModel(workflow.catalog)
+    problem = build_problem(catalog, cost_model)
+    base = solve_ilp(problem)
+    return catalog, problem, base, cost_model
+
+
+class TestErrorAwareSelection:
+    def test_zero_budget_keeps_exact_memory(self, setup):
+        catalog, problem, base, cost_model = setup
+        result = select_with_error_budget(
+            catalog, problem, base, cost_model, error_budget=0.0
+        )
+        assert result.total_memory == pytest.approx(base.total_cost)
+        assert result.worst_required_error(catalog) == 0.0
+
+    def test_budget_buys_memory(self, setup):
+        catalog, problem, base, cost_model = setup
+        result = select_with_error_budget(
+            catalog, problem, base, cost_model, error_budget=0.3
+        )
+        assert result.total_memory < base.total_cost
+        assert result.worst_required_error(catalog) <= 0.3 + 1e-9
+
+    def test_memory_monotone_in_budget(self, setup):
+        catalog, problem, base, cost_model = setup
+        memories = []
+        for budget in (0.0, 0.1, 0.3, 0.6, 1.0):
+            result = select_with_error_budget(
+                catalog, problem, base, cost_model, error_budget=budget
+            )
+            memories.append(result.total_memory)
+        assert memories == sorted(memories, reverse=True)
+
+    def test_only_histograms_are_coarsened(self, setup):
+        catalog, problem, base, cost_model = setup
+        result = select_with_error_budget(
+            catalog, problem, base, cost_model, error_budget=1.0
+        )
+        for stat, choice in result.choices.items():
+            if stat.kind is not StatKind.HISTOGRAM:
+                assert choice.resolution == 1.0
+                assert choice.error == 0.0
+
+    def test_error_budget_respected_at_every_level(self, setup):
+        catalog, problem, base, cost_model = setup
+        for budget in (0.05, 0.2, 0.5):
+            result = select_with_error_budget(
+                catalog, problem, base, cost_model, error_budget=budget
+            )
+            assert result.worst_required_error(catalog) <= budget + 1e-9
+
+    def test_skew_scales_error(self, setup):
+        catalog, problem, base, cost_model = setup
+        gentle = ErrorAwareSelector(
+            catalog, problem, base, cost_model, skew=0.1
+        ).select(0.2)
+        harsh = ErrorAwareSelector(
+            catalog, problem, base, cost_model, skew=2.0
+        ).select(0.2)
+        # lower skew -> cheaper coarsening fits the same budget
+        assert gentle.total_memory <= harsh.total_memory
+
+    def test_describe_renders(self, setup):
+        catalog, problem, base, cost_model = setup
+        result = select_with_error_budget(
+            catalog, problem, base, cost_model, error_budget=0.4
+        )
+        text = result.describe()
+        assert "memory" in text
+
+
+def test_projected_error_per_statistic(setup):
+    catalog, problem, base, cost_model = setup
+    result = select_with_error_budget(
+        catalog, problem, base, cost_model, error_budget=0.4
+    )
+    worst = result.worst_required_error(catalog)
+    per_stat = [
+        result.projected_error(s, catalog) for s in catalog.required
+    ]
+    assert max(per_stat) == pytest.approx(worst)
+    assert all(e >= 0 for e in per_stat)
+
+
+def test_measure_errors_on_observed_data(setup):
+    """Ground-truth the error model: exact resolution -> no error; coarse
+    resolutions -> measurable, bounded error."""
+    from repro.core.error_aware import measure_errors
+    from repro.core.histogram import Histogram
+    from repro.core.statistics import StatisticsStore
+
+    catalog, problem, base, cost_model = setup
+    result = select_with_error_budget(
+        catalog, problem, base, cost_model, error_budget=1.0
+    )
+    observed = StatisticsStore()
+    import random
+
+    rng = random.Random(3)
+    for stat in result.choices:
+        if stat.kind is StatKind.HISTOGRAM and len(stat.attrs) == 1:
+            counts = {v: rng.randint(1, 30) for v in range(1, 200)}
+            observed.put(stat, Histogram.single(stat.attrs[0], counts))
+    measured = measure_errors(result, observed)
+    coarsened = [
+        s for s, c in result.choices.items()
+        if c.resolution < 1.0 and s in observed
+    ]
+    if coarsened:
+        assert measured
+        for stat, err in measured.items():
+            assert 0.0 <= err <= 2.0

@@ -1,0 +1,84 @@
+"""Additional tests for the §6.1 constrained planner edge cases."""
+
+import pytest
+
+from repro.algebra.blocks import analyze
+from repro.core.costs import CostModel
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.core.ilp import solve_ilp
+from repro.core.resource import ConstrainedPlanner, plan_constrained
+from repro.core.selection import build_problem
+from repro.workloads import case
+
+
+@pytest.fixture(scope="module")
+def star():
+    wfcase = case(13)
+    workflow = wfcase.build()
+    analysis = analyze(workflow)
+    catalog = generate_css(analysis, GeneratorOptions(fk_rules=False))
+    cost_model = CostModel(workflow.catalog)
+    optimal = solve_ilp(build_problem(catalog, cost_model))
+    return analysis, catalog, cost_model, optimal
+
+
+class TestConstrainedEdgeCases:
+    def test_budget_exactly_optimal(self, star):
+        analysis, catalog, cost_model, optimal = star
+        schedule = plan_constrained(
+            analysis, catalog, cost_model, budget=optimal.total_cost
+        )
+        assert schedule.executions == 1
+
+    def test_budget_one_below_optimal_splits(self, star):
+        analysis, catalog, cost_model, optimal = star
+        schedule = plan_constrained(
+            analysis, catalog, cost_model, budget=optimal.total_cost - 1
+        )
+        assert schedule.executions >= 2
+        assert schedule.peak_memory <= optimal.total_cost - 1
+
+    def test_greedy_solver_variant(self, star):
+        analysis, catalog, cost_model, optimal = star
+        schedule = ConstrainedPlanner(
+            analysis, catalog, cost_model,
+            budget=optimal.total_cost * 2, solver="greedy",
+        ).plan()
+        assert schedule.executions >= 1
+        assert set(catalog.required) <= schedule.covered
+
+    def test_steps_have_distinct_observations(self, star):
+        """No statistic is paid for twice across the schedule."""
+        analysis, catalog, cost_model, optimal = star
+        schedule = plan_constrained(
+            analysis, catalog, cost_model,
+            budget=max(optimal.total_cost / 6, 16),
+        )
+        seen = set()
+        for step in schedule.steps:
+            for stat in step.observe:
+                assert stat not in seen, stat
+                seen.add(stat)
+
+    def test_step_memory_accounts_observations(self, star):
+        analysis, catalog, cost_model, optimal = star
+        schedule = plan_constrained(
+            analysis, catalog, cost_model,
+            budget=max(optimal.total_cost / 4, 16),
+        )
+        for step in schedule.steps:
+            total = sum(cost_model.cost(s) for s in step.observe)
+            assert step.memory == pytest.approx(total)
+
+    def test_trees_cover_block_inputs(self, star):
+        from repro.algebra.plans import leaves
+
+        analysis, catalog, cost_model, optimal = star
+        schedule = plan_constrained(
+            analysis, catalog, cost_model,
+            budget=max(optimal.total_cost / 4, 16),
+        )
+        for step in schedule.steps:
+            for block in analysis.blocks:
+                tree = step.trees[block.name]
+                assert {l.name for l in leaves(tree)} == set(block.inputs)

@@ -1,0 +1,259 @@
+"""Tests for the selection problem, ILP (Section 5.2) and greedy (5.3)."""
+
+import math
+
+import pytest
+
+from repro.algebra.blocks import analyze
+from repro.algebra.expressions import SubExpression
+from repro.algebra.operators import Join, Source, Target, Workflow
+from repro.algebra.schema import Catalog
+from repro.core.costs import INFINITE, CostModel
+from repro.core.css import CSS, CssCatalog
+from repro.core.generator import generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.ilp import solve_ilp
+from repro.core.selection import build_problem
+from repro.core.statistics import Statistic
+
+SE = SubExpression.of
+
+
+def tiny_catalog():
+    """A hand-built catalog: |T12| <- J1{H_T1^a, H_T2^a}; everything else
+    trivial."""
+    catalog = CssCatalog()
+    c_t1 = Statistic.card(SE("T1"))
+    c_t2 = Statistic.card(SE("T2"))
+    c_t12 = Statistic.card(SE("T1", "T2"))
+    h1 = Statistic.hist(SE("T1"), "a")
+    h2 = Statistic.hist(SE("T2"), "a")
+    for stat in (c_t1, c_t2, h1, h2):
+        catalog.mark_observable(stat)
+    for stat in (c_t1, c_t2, c_t12):
+        catalog.require(stat)
+    catalog.add(CSS(c_t12, (h1, h2), "J1"))
+    catalog.add(CSS(c_t1, (h1,), "I1"))
+    catalog.add(CSS(c_t2, (h2,), "I1"))
+    return catalog
+
+
+class FixedCost(CostModel):
+    """Cost model with explicit per-statistic costs."""
+
+    def __init__(self, table):
+        super().__init__(Catalog())
+        self.table = table
+
+    def cost(self, stat, observable=True):
+        if not observable:
+            return INFINITE
+        return self.table.get(stat, 1.0)
+
+
+class TestBuildProblem:
+    def test_infeasible_detected(self):
+        catalog = CssCatalog()
+        ghost = Statistic.card(SE("T1", "T2"))
+        catalog.require(ghost)  # not observable, no CSS
+        with pytest.raises(ValueError, match="infeasible"):
+            build_problem(catalog, CostModel(Catalog()))
+
+    def test_free_statistics_have_zero_cost(self):
+        catalog = tiny_catalog()
+        h1 = Statistic.hist(SE("T1"), "a")
+        problem = build_problem(
+            catalog, CostModel(Catalog()), free_statistics={h1}
+        )
+        assert problem.costs[problem.index[h1]] == 0.0
+
+    def test_closure_chains_css(self):
+        catalog = tiny_catalog()
+        problem = build_problem(catalog, CostModel(Catalog()))
+        h1 = problem.index[Statistic.hist(SE("T1"), "a")]
+        h2 = problem.index[Statistic.hist(SE("T2"), "a")]
+        closure = problem.closure({h1, h2})
+        assert problem.index[Statistic.card(SE("T1", "T2"))] in closure
+        assert problem.index[Statistic.card(SE("T1"))] in closure
+
+    def test_partial_observation_insufficient(self):
+        catalog = tiny_catalog()
+        problem = build_problem(catalog, CostModel(Catalog()))
+        h1 = problem.index[Statistic.hist(SE("T1"), "a")]
+        assert not problem.is_sufficient({h1})
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("solve", [solve_ilp, solve_greedy])
+    def test_tiny_catalog_solution_valid(self, solve):
+        problem = build_problem(tiny_catalog(), CostModel(Catalog()))
+        result = solve(problem)
+        assert result.is_valid
+        assert result.total_cost < INFINITE
+
+    def test_ilp_exploits_amortization(self):
+        """Section 5's motivating example: a shared histogram makes the
+        histogram pair cheaper than two per-statistic optima."""
+        catalog = CssCatalog()
+        c12 = Statistic.card(SE("T1", "T2"))
+        c13 = Statistic.card(SE("T1", "T3"))
+        h1 = Statistic.hist(SE("T1"), "j")  # shared join key
+        h2 = Statistic.hist(SE("T2"), "j")
+        h3 = Statistic.hist(SE("T3"), "j")
+        for stat in (h1, h2, h3, c13):
+            catalog.mark_observable(stat)
+        catalog.require(c12)
+        catalog.require(c13)
+        catalog.add(CSS(c12, (h1, h2), "J1"))
+        catalog.add(CSS(c13, (h1, h3), "J1"))
+        costs = FixedCost({h1: 9.0, h2: 3.0, h3: 1.0, c13: 9.0})
+        problem = build_problem(catalog, costs)
+        result = solve_ilp(problem)
+        # greedy-per-statistic would pick |T13| directly (9) + {h1,h2} (12)
+        # = 21; sharing h1 gives 9 + 3 + 1 = 13
+        assert result.total_cost == 13.0
+        assert result.is_valid
+
+    def test_cyclic_self_support_rejected(self):
+        """Two statistics whose only CSSs reference each other must not be
+        declared computable for free (the union-division cycle hazard)."""
+        catalog = CssCatalog()
+        a = Statistic.card(SE("A", "B"))
+        b = Statistic.hist(SE("A", "B", "C"), "k")
+        direct = Statistic.hist(SE("A"), "k")
+        catalog.require(a)
+        catalog.mark_observable(b)
+        catalog.mark_observable(direct)
+        catalog.add(CSS(a, (b,), "J4"))
+        catalog.add(CSS(b, (a,), "J2"))  # artificial back edge
+        catalog.add(CSS(a, (direct,), "J1"))
+        costs = FixedCost({b: 1.0, direct: 100.0})
+        problem = build_problem(catalog, costs)
+        result = solve_ilp(problem)
+        assert result.is_valid
+        # the cheap cyclic pair is unusable without observing b directly
+        observed = set(result.observed)
+        assert observed == {b} or direct in observed
+
+    def test_greedy_close_to_ilp_on_simple_case(self):
+        problem = build_problem(tiny_catalog(), CostModel(Catalog()))
+        ilp = solve_ilp(problem)
+        greedy = solve_greedy(problem)
+        # both valid; greedy may pay a couple of extra counters (it covers
+        # cheap cardinalities directly before committing to histograms)
+        assert ilp.is_valid and greedy.is_valid
+        assert ilp.total_cost <= greedy.total_cost <= ilp.total_cost + 2
+
+    def test_ilp_never_worse_than_greedy(self):
+        cat = Catalog()
+        cat.add_relation("O", {"pid": 30, "cid": 40})
+        cat.add_relation("P", {"pid": 30})
+        cat.add_relation("C", {"cid": 40})
+        o, p, c = Source(cat, "O"), Source(cat, "P"), Source(cat, "C")
+        wf = Workflow("w", cat, [Target(Join(Join(o, p, "pid"), c, "cid"), "t")])
+        catalog = generate_css(analyze(wf))
+        problem = build_problem(catalog, CostModel(cat))
+        ilp = solve_ilp(problem)
+        greedy = solve_greedy(problem)
+        assert ilp.is_valid and greedy.is_valid
+        assert ilp.total_cost <= greedy.total_cost
+
+    def test_time_limit_still_returns_valid_result(self):
+        problem = build_problem(tiny_catalog(), CostModel(Catalog()))
+        result = solve_ilp(problem, time_limit=0.001)
+        assert result.is_valid
+
+
+class TestFig8Formulation:
+    """The paper's Figure 5/7/8 example, end to end through the ILP."""
+
+    def build(self):
+        """Figure 5: T1 joins T3 (J13) then T2 (J12), same attribute a on
+        T1 for both joins is *not* assumed -- use separate keys."""
+        catalog = CssCatalog()
+        t1, t2, t3 = SE("T1"), SE("T2"), SE("T3")
+        t12, t13, t23, t123 = (
+            SE("T1", "T2"), SE("T1", "T3"), SE("T2", "T3"), SE("T1", "T2", "T3"),
+        )
+        from repro.algebra.expressions import RejectJoinSE, RejectSE
+
+        rej = RejectSE(t1, "j13", t3)
+        stats = {
+            "c1": Statistic.card(t1),
+            "c2": Statistic.card(t2),
+            "c3": Statistic.card(t3),
+            "c12": Statistic.card(t12),
+            "c13": Statistic.card(t13),
+            "c123": Statistic.card(t123),
+            "h1_12": Statistic.hist(t1, "j12"),
+            "h2_12": Statistic.hist(t2, "j12"),
+            "h3_13": Statistic.hist(t3, "j13"),
+            "h123_13": Statistic.hist(t123, "j13"),
+            "hrej_12": Statistic.hist(rej, "j12"),
+        }
+        observable = [
+            "c1", "c2", "c3", "c13", "c123",
+            "h1_12", "h2_12", "h3_13", "h123_13", "hrej_12",
+        ]
+        for key in observable:
+            catalog.mark_observable(stats[key])
+        for key in ("c1", "c2", "c3", "c12", "c13", "c123"):
+            catalog.require(stats[key])
+        rj = RejectJoinSE(rej, "j12", t2)
+        c_rj = Statistic.card(rj)
+        h1_13 = Statistic.hist(t1, "j13")
+        catalog.mark_observable(h1_13)
+        catalog.add(CSS(stats["c13"], (h1_13, stats["h3_13"]), "J1"))
+        catalog.add(CSS(stats["c12"], (stats["h1_12"], stats["h2_12"]), "J1"))
+        catalog.add(
+            CSS(
+                stats["c12"],
+                (stats["h123_13"], stats["h3_13"], c_rj),
+                "J4",
+            )
+        )
+        catalog.add(CSS(c_rj, (stats["hrej_12"], stats["h2_12"]), "J1"))
+        catalog.add(CSS(stats["c123"], (stats["h123_13"],), "I1"))
+        # c23: only observable via... give it a plain J1 for completeness
+        h2_23 = Statistic.hist(t2, "j23")
+        h3_23 = Statistic.hist(t3, "j23")
+        catalog.mark_observable(h2_23)
+        catalog.mark_observable(h3_23)
+        c23 = Statistic.card(t23)
+        catalog.require(c23)
+        catalog.add(CSS(c23, (h2_23, h3_23), "J1"))
+        costs = FixedCost(
+            {
+                stats["c1"]: 1, stats["c2"]: 1, stats["c3"]: 1,
+                stats["c13"]: 1, stats["c123"]: 1,
+                stats["h1_12"]: 100, stats["h2_12"]: 100,
+                h1_13: 100, stats["h3_13"]: 1,
+                stats["h123_13"]: 10, stats["hrej_12"]: 30,
+                h2_23: 40, h3_23: 40,
+            }
+        )
+        return catalog, costs, stats
+
+    def test_union_division_chosen_when_cheaper(self):
+        """With Figure 7-style costs (H_T3^J13 cheap), covering |T12| via
+        J4 costs 10+1+30 plus the shared H_T2^J12, beating H_T1^J12."""
+        catalog, costs, stats = self.build()
+        problem = build_problem(catalog, costs)
+        result = solve_ilp(problem)
+        assert result.is_valid
+        observed = set(result.observed)
+        # H_T123^J13 (10) + H_rej^J12 (30) + shared H_T2^J12 beats H_T1^J12
+        assert stats["h123_13"] in observed
+        assert stats["hrej_12"] in observed
+        assert stats["h1_12"] not in observed
+
+
+def test_ilp_falls_back_to_greedy_without_scipy(monkeypatch):
+    """The library stays functional when scipy is unavailable."""
+    import repro.core.ilp as ilp_module
+
+    problem = build_problem(tiny_catalog(), CostModel(Catalog()))
+    monkeypatch.setattr(ilp_module, "HAVE_SCIPY", False)
+    result = ilp_module.solve_ilp(problem)
+    assert result.method == "greedy"
+    assert result.is_valid

@@ -1,0 +1,95 @@
+"""Unit tests for statistic keys and the statistics store."""
+
+import pytest
+
+from repro.algebra.expressions import RejectJoinSE, RejectSE, SubExpression
+from repro.core.histogram import Histogram
+from repro.core.statistics import StatKind, Statistic, StatisticsStore
+
+
+SE1 = SubExpression.of("T1")
+SE12 = SubExpression.of("T1", "T2")
+
+
+class TestStatisticKeys:
+    def test_cardinality_carries_no_attrs(self):
+        stat = Statistic.card(SE12)
+        assert stat.kind is StatKind.CARDINALITY
+        assert stat.attrs == ()
+        with pytest.raises(ValueError):
+            Statistic(StatKind.CARDINALITY, SE1, ("a",))
+
+    def test_histogram_attrs_canonicalized(self):
+        assert Statistic.hist(SE1, "b", "a") == Statistic.hist(SE1, "a", "b")
+        assert Statistic.hist(SE1, "a", "a") == Statistic.hist(SE1, "a")
+
+    def test_histogram_requires_attrs(self):
+        with pytest.raises(ValueError):
+            Statistic(StatKind.HISTOGRAM, SE1)
+
+    def test_distinct_requires_attrs(self):
+        with pytest.raises(ValueError):
+            Statistic(StatKind.DISTINCT, SE1)
+
+    def test_se_identity_is_order_insensitive(self):
+        assert Statistic.card(SubExpression.of("T2", "T1")) == Statistic.card(SE12)
+
+    def test_same_attr_different_se_differs(self):
+        assert Statistic.hist(SE1, "a") != Statistic.hist(SE12, "a")
+
+    def test_reject_statistics_are_distinct_keys(self):
+        rej = RejectSE(SE1, "a", SubExpression.of("T3"))
+        assert Statistic.card(rej) != Statistic.card(SE1)
+        rj = RejectJoinSE(rej, "b", SubExpression.of("T2"))
+        assert Statistic.card(rj) != Statistic.card(rej)
+
+    def test_sort_key_total_order(self):
+        stats = [
+            Statistic.card(SE12),
+            Statistic.hist(SE1, "a"),
+            Statistic.card(SE1),
+            Statistic.distinct(SE1, "a"),
+        ]
+        ordered = sorted(stats, key=lambda s: s.sort_key())
+        assert len(ordered) == 4
+        # deterministic: sorting twice gives the same order
+        assert ordered == sorted(reversed(stats), key=lambda s: s.sort_key())
+
+
+class TestStatisticsStore:
+    def test_put_get_roundtrip(self):
+        store = StatisticsStore()
+        store.put(Statistic.card(SE1), 42)
+        assert store.get(Statistic.card(SE1)) == 42
+        assert store.cardinality(SE1) == 42.0
+
+    def test_histogram_type_enforced(self):
+        store = StatisticsStore()
+        with pytest.raises(TypeError):
+            store.put(Statistic.hist(SE1, "a"), 5)
+        with pytest.raises(TypeError):
+            store.put(Statistic.card(SE1), Histogram.single("a", {1: 1}))
+
+    def test_histogram_attrs_enforced(self):
+        store = StatisticsStore()
+        with pytest.raises(ValueError):
+            store.put(Statistic.hist(SE1, "a"), Histogram.single("b", {1: 1}))
+
+    def test_contains_and_maybe(self):
+        store = StatisticsStore()
+        stat = Statistic.card(SE1)
+        assert stat not in store
+        assert store.maybe(stat) is None
+        store.put(stat, 7)
+        assert stat in store
+        assert store.maybe(stat) == 7
+
+    def test_merge_and_copy_are_independent(self):
+        a, b = StatisticsStore(), StatisticsStore()
+        a.put(Statistic.card(SE1), 1)
+        b.put(Statistic.card(SE12), 2)
+        a.merge(b)
+        assert len(a) == 2
+        clone = a.copy()
+        clone.put(Statistic.card(SE1), 99)
+        assert a.get(Statistic.card(SE1)) == 1

@@ -1,0 +1,67 @@
+"""Unit tests for the tap set (plan instrumentation)."""
+
+import pytest
+
+from repro.algebra.expressions import RejectJoinSE, RejectSE, SubExpression
+from repro.core.statistics import Statistic
+from repro.engine.instrumentation import InstrumentationError, TapSet
+from repro.engine.table import Table
+
+SE = SubExpression.of
+
+
+class TestTapSet:
+    def test_counter(self):
+        taps = TapSet([Statistic.card(SE("T"))])
+        taps.observe(SE("T"), Table({"a": [1, 2, 3]}))
+        assert taps.store.get(Statistic.card(SE("T"))) == 3
+
+    def test_histogram(self):
+        stat = Statistic.hist(SE("T"), "a")
+        taps = TapSet([stat])
+        taps.observe(SE("T"), Table({"a": [1, 1, 2]}))
+        assert taps.store.get(stat).frequency(1) == 2
+
+    def test_distinct(self):
+        stat = Statistic.distinct(SE("T"), "a")
+        taps = TapSet([stat])
+        taps.observe(SE("T"), Table({"a": [1, 1, 2]}))
+        assert taps.store.get(stat) == 2
+
+    def test_multiple_stats_one_point(self):
+        stats = [
+            Statistic.card(SE("T")),
+            Statistic.hist(SE("T"), "a"),
+            Statistic.distinct(SE("T"), "a"),
+        ]
+        taps = TapSet(stats)
+        taps.observe(SE("T"), Table({"a": [1, 2]}))
+        assert taps.missing() == []
+
+    def test_unobserved_points_ignored(self):
+        taps = TapSet([Statistic.card(SE("T"))])
+        taps.observe(SE("Other"), Table({"a": [1]}))
+        assert taps.missing() == [Statistic.card(SE("T"))]
+        assert not taps.wants(SE("Other"))
+
+    def test_reject_requests(self):
+        rej = RejectSE(SE("T"), "k", SE("R"))
+        taps = TapSet([Statistic.card(rej), Statistic.card(SE("T"))])
+        assert taps.reject_requests() == {rej}
+
+    def test_reject_join_rejected(self):
+        rej = RejectSE(SE("T"), "k", SE("R"))
+        rj = RejectJoinSE(rej, "m", SE("S"))
+        with pytest.raises(InstrumentationError, match="never observable"):
+            TapSet([Statistic.hist(rj, "m")])
+
+    def test_histogram_missing_attr_fails(self):
+        stat = Statistic.hist(SE("T"), "z")
+        taps = TapSet([stat])
+        with pytest.raises(InstrumentationError, match="not live"):
+            taps.observe(SE("T"), Table({"a": [1]}))
+
+    def test_requested_lists_everything(self):
+        stats = [Statistic.card(SE("T")), Statistic.card(SE("R"))]
+        taps = TapSet(stats)
+        assert sorted(map(repr, taps.requested)) == sorted(map(repr, stats))

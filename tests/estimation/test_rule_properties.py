@@ -1,0 +1,127 @@
+"""Property-based tests: rule semantics vs brute-force relational algebra.
+
+For random tables, each rule's computed statistic must equal the statistic
+measured on the actual operator output — the exactness that makes the whole
+framework work (Section 3.1).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import Histogram
+from repro.engine.physical import hash_join
+from repro.engine.table import Table
+from repro.estimation.calculator import group_distinct, join_histograms
+
+rows_ab = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 4)), min_size=1, max_size=30
+)
+rows_ac = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 3)), min_size=1, max_size=30
+)
+
+
+@given(rows_ab, rows_ac)
+@settings(max_examples=60)
+def test_j1_dot_equals_join_size(lrows, rrows):
+    left = Table.from_rows(("a", "b"), lrows)
+    right = Table.from_rows(("a", "c"), rrows)
+    joined, _l, _r = hash_join(left, right, ("a",))
+    assert left.histogram(("a",)).dot(right.histogram(("a",))) == joined.num_rows
+
+
+@given(rows_ab, rows_ac)
+@settings(max_examples=60)
+def test_j2_join_histograms_equals_join_histogram(lrows, rrows):
+    """H computed by the J2 rule == H measured on the actual join output."""
+    left = Table.from_rows(("a", "b"), lrows)
+    right = Table.from_rows(("a", "c"), rrows)
+    joined, _l, _r = hash_join(left, right, ("a",))
+
+    computed = join_histograms(
+        left.histogram(("a", "b")), right.histogram(("a", "c")), ("a",), ("b", "c")
+    )
+    if joined.num_rows:
+        measured = joined.histogram(("b", "c"))
+        assert computed == measured
+    else:
+        assert computed.total() == 0
+
+
+@given(rows_ab, rows_ac)
+@settings(max_examples=60)
+def test_j3_multiply_equals_join_key_histogram(lrows, rrows):
+    left = Table.from_rows(("a", "b"), lrows)
+    right = Table.from_rows(("a", "c"), rrows)
+    joined, _l, _r = hash_join(left, right, ("a",))
+    computed = left.histogram(("a",)).multiply(right.histogram(("a",)))
+    if joined.num_rows:
+        assert computed == joined.histogram(("a",))
+    else:
+        assert computed.total() == 0
+
+
+@given(rows_ab, rows_ac, rows_ac)
+@settings(max_examples=40)
+def test_union_division_equation3(t1_rows, t3_rows, t2_rows):
+    """|T1 join T2| = |H_{T123}^kg / H_{T3}^kg| + |rej(T1) join T2| on
+    arbitrary data (the full Equation 1-3 derivation)."""
+    t1 = Table.from_rows(("kg", "ke"), t1_rows)
+    t3 = Table.from_rows(("kg", "x3"), t3_rows)
+    t2 = Table.from_rows(("kg2", "ke"), [(99, r[1]) for r in t2_rows])
+    t2 = t2.select_columns(("ke",))
+
+    t13, rej1, _ = hash_join(t1, t3, ("kg",), want_reject_left=True)
+    t123, _, _ = hash_join(t13, t2, ("ke",))
+    t12, _, _ = hash_join(t1, t2, ("ke",))
+    rej_join, _, _ = hash_join(rej1, t2, ("ke",))
+
+    if t123.num_rows:
+        survived = t123.histogram(("kg",)).divide(t3.histogram(("kg",))).total()
+    else:
+        survived = 0.0
+    assert survived + rej_join.num_rows == pytest.approx(t12.num_rows)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 3), st.integers(0, 9)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60)
+def test_g1_g2_against_group_by(rows):
+    """G1: |G(T, (g, h))| = distinct (g,h); G2: per-attribute histogram of
+    the group-by output counts distinct groups."""
+    from repro.engine.physical import group_by
+
+    table = Table.from_rows(("g", "h", "v"), rows)
+    grouped = group_by(table, ("g", "h"))
+    assert grouped.num_rows == table.distinct_count(("g", "h"))
+
+    joint = table.histogram(("g", "h"))
+    computed = group_distinct(joint, ("g",))
+    assert computed == grouped.histogram(("g",))
+
+
+@given(rows_ab, st.integers(0, 5))
+@settings(max_examples=60)
+def test_s1_s2_against_filter(rows, threshold):
+    from repro.engine.physical import apply_filter
+
+    table = Table.from_rows(("a", "b"), rows)
+    predicate = lambda v: v <= threshold
+    filtered = apply_filter(table, "a", predicate)
+
+    # S1: cardinality from the raw histogram
+    assert table.histogram(("a",)).select("a", predicate).total() == filtered.num_rows
+    # S2: the filtered b-histogram from the raw joint
+    computed = (
+        table.histogram(("a", "b")).select("a", predicate).marginalize(("b",))
+    )
+    if filtered.num_rows:
+        assert computed == filtered.histogram(("b",))
+    else:
+        assert computed.total() == 0

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) on the selection machinery.
+
+These check algebraic invariants of the optimization framework over
+randomly generated hitting-set instances -- independent of any workflow:
+
+- the ILP optimum is never above the greedy's cost;
+- adding CSS alternatives never increases the optimum (more options);
+- making statistics free never increases the optimum;
+- the closure is monotone and idempotent.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import SubExpression
+from repro.core.costs import INFINITE, CostModel
+from repro.core.css import CSS, CssCatalog
+from repro.core.greedy import solve_greedy
+from repro.core.ilp import solve_ilp
+from repro.core.selection import build_problem
+from repro.core.statistics import Statistic
+from repro.algebra.schema import Catalog
+
+SE = SubExpression.of
+
+
+class _Costs(CostModel):
+    def __init__(self, table):
+        super().__init__(Catalog())
+        self.table = table
+
+    def cost(self, stat, observable=True):
+        if not observable:
+            return INFINITE
+        return float(self.table.get(stat, 5.0))
+
+
+@st.composite
+def instances(draw):
+    """A random feasible selection instance.
+
+    Statistics s0..s(n-1); the first k are observable with random costs;
+    required statistics each get at least one CSS whose inputs are
+    observable (feasibility by construction) plus random extra CSSs.
+    """
+    n = draw(st.integers(4, 12))
+    stats = [Statistic.card(SE(f"s{i}")) for i in range(n)]
+    n_obs = draw(st.integers(2, n))
+    observable = stats[:n_obs]
+    costs = {
+        s: draw(st.integers(1, 50)) for s in observable
+    }
+    catalog = CssCatalog()
+    for s in observable:
+        catalog.mark_observable(s)
+
+    n_req = draw(st.integers(1, max(1, n // 2)))
+    required = draw(
+        st.lists(st.sampled_from(stats), min_size=n_req, max_size=n_req)
+    )
+    for r in required:
+        catalog.require(r)
+        if r not in set(observable):
+            inputs = draw(
+                st.lists(
+                    st.sampled_from(observable), min_size=1, max_size=3
+                )
+            )
+            catalog.add(CSS(r, tuple(dict.fromkeys(inputs)), "J1"))
+    n_extra = draw(st.integers(0, 6))
+    for _ in range(n_extra):
+        target = draw(st.sampled_from(stats))
+        inputs = draw(
+            st.lists(st.sampled_from(stats), min_size=1, max_size=3)
+        )
+        inputs = tuple(s for s in dict.fromkeys(inputs) if s != target)
+        if inputs:
+            catalog.add(CSS(target, inputs, "X"))
+    return catalog, _Costs(costs)
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_ilp_beats_or_matches_greedy(instance):
+    catalog, costs = instance
+    problem = build_problem(catalog, costs)
+    ilp = solve_ilp(problem)
+    greedy = solve_greedy(problem)
+    assert ilp.is_valid and greedy.is_valid
+    assert ilp.total_cost <= greedy.total_cost + 1e-9
+
+
+@given(instances())
+@settings(max_examples=30, deadline=None)
+def test_more_alternatives_never_hurt(instance):
+    catalog, costs = instance
+    problem = build_problem(catalog, costs)
+    base = solve_ilp(problem).total_cost
+    # add an extra CSS for each required stat over observable inputs
+    observable = sorted(catalog.observable, key=lambda s: s.sort_key())
+    for r in sorted(catalog.required, key=lambda s: s.sort_key()):
+        catalog.add(CSS(r, (observable[0],), "EXTRA"))
+    richer = solve_ilp(build_problem(catalog, costs)).total_cost
+    assert richer <= base + 1e-9
+
+
+@given(instances())
+@settings(max_examples=30, deadline=None)
+def test_free_statistics_never_hurt(instance):
+    catalog, costs = instance
+    problem = build_problem(catalog, costs)
+    base = solve_ilp(problem).total_cost
+    free = set(list(sorted(catalog.observable, key=lambda s: s.sort_key()))[:1])
+    cheaper = solve_ilp(
+        build_problem(catalog, costs, free_statistics=free)
+    ).total_cost
+    assert cheaper <= base + 1e-9
+
+
+@given(instances(), st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_closure_monotone_idempotent(instance, k):
+    catalog, costs = instance
+    problem = build_problem(catalog, costs)
+    observable = sorted(problem.observable)
+    smaller = set(observable[:k])
+    bigger = set(observable)
+    c_small = problem.closure(smaller)
+    c_big = problem.closure(bigger)
+    assert c_small <= c_big
+    # idempotent: closing an already-closed observable set adds nothing new
+    assert problem.closure(c_small & set(problem.observable)) >= c_small & set(
+        problem.observable
+    )

@@ -1,0 +1,59 @@
+"""Tests for the markdown run report."""
+
+import pytest
+
+from repro.framework.pipeline import StatisticsPipeline
+from repro.framework.report import render_report, write_report
+from repro.workloads import case
+
+
+@pytest.fixture(scope="module")
+def report():
+    wfcase = case(11)
+    pipeline = StatisticsPipeline(wfcase.build())
+    return pipeline.run_once(wfcase.tables(scale=0.15, seed=2))
+
+
+class TestRenderReport:
+    def test_sections_present(self, report):
+        text = render_report(report)
+        for heading in (
+            "# Statistics run report",
+            "## Optimizable blocks",
+            "## Observed statistics",
+            "## Learned cardinalities",
+            "## Plan decisions",
+            "## Physical operator choices",
+            "## Timings",
+        ):
+            assert heading in text
+
+    def test_every_observed_statistic_listed(self, report):
+        text = render_report(report)
+        for stat in report.selection.observed:
+            assert repr(stat) in text
+
+    def test_every_block_listed(self, report):
+        text = render_report(report)
+        for block in report.analysis.blocks:
+            assert block.name in text
+
+    def test_estimates_optional(self, report):
+        text = render_report(report, include_estimates=False)
+        assert "## Learned cardinalities" not in text
+
+    def test_physical_optional(self, report):
+        text = render_report(report, include_physical=False)
+        assert "## Physical operator choices" not in text
+
+    def test_write_report(self, report, tmp_path):
+        path = tmp_path / "run.md"
+        text = write_report(report, path)
+        assert path.read_text() == text
+
+    def test_linear_flow_notes_no_joins(self):
+        wfcase = case(2)
+        pipeline = StatisticsPipeline(wfcase.build())
+        rep = pipeline.run_once(wfcase.tables(scale=0.2, seed=1))
+        text = render_report(rep)
+        assert "no joins (linear flow)" in text

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def wf_json(tmp_path):
+    from repro.algebra.serialize import workflow_to_json
+    from repro.workloads import case
+
+    path = tmp_path / "wf9.json"
+    path.write_text(workflow_to_json(case(9).build()))
+    return str(path)
+
+
+@pytest.fixture
+def wf_xml(tmp_path):
+    from repro.algebra.serialize import workflow_to_xml
+    from repro.workloads import case
+
+    path = tmp_path / "wf9.xml"
+    path.write_text(workflow_to_xml(case(9).build()))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_json_input(self, wf_json, capsys):
+        assert main(["analyze", wf_json]) == 0
+        out = capsys.readouterr().out
+        assert "block(s)" in out
+        assert "sub-expressions" in out
+
+    def test_xml_input(self, wf_xml, capsys):
+        assert main(["analyze", wf_xml]) == 0
+        assert "B1" in capsys.readouterr().out
+
+
+class TestIdentify:
+    def test_default_ilp(self, wf_json, capsys):
+        assert main(["identify", wf_json]) == 0
+        out = capsys.readouterr().out
+        assert "candidate statistics sets" in out
+        assert "Selection [ilp]" in out
+
+    def test_greedy_solver(self, wf_json, capsys):
+        assert main(["identify", wf_json, "--solver", "greedy"]) == 0
+        assert "Selection [greedy]" in capsys.readouterr().out
+
+    def test_no_union_division(self, wf_json, capsys):
+        assert main(["identify", wf_json, "--no-union-division", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "J4" not in out and "J5" not in out
+
+    def test_no_fk(self, wf_json, capsys):
+        assert main(["identify", wf_json, "--no-fk", "--verbose"]) == 0
+        assert "CSS[FK]" not in capsys.readouterr().out
+
+
+class TestSuite:
+    def test_listing(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("wf") >= 30
+        assert "grand_trade_report" in out
+
+    def test_single_workflow(self, capsys):
+        assert main(["suite", "--number", "21"]) == 0
+        out = capsys.readouterr().out
+        assert "8-way" in out
+
+
+class TestExperiments:
+    def test_data_table(self, capsys):
+        assert main(["experiments", "data"]) == 0
+        out = capsys.readouterr().out
+        assert "Median" in out
+
+    def test_fig9_restricted(self, capsys):
+        assert main(["experiments", "fig9", "--workflows", "2", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "#CSS (UD)" in out
+        assert len(out.strip().splitlines()) == 4  # header + rule + 2 rows
+
+    def test_fig12_restricted(self, capsys):
+        assert main(["experiments", "fig12", "--workflows", "1", "9", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "min executions" in out
+
+
+class TestExport:
+    def test_json_round_trip(self, capsys):
+        assert main(["export", "--number", "9", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"].startswith("wf09")
+
+    def test_xml(self, capsys):
+        assert main(["export", "--number", "9", "--format", "xml"]) == 0
+        assert capsys.readouterr().out.startswith("<etl-workflow")
+
+
+class TestExperimentsSlowFigures:
+    def test_fig10_restricted(self, capsys):
+        assert main(
+            ["experiments", "fig10", "--workflows", "2", "9",
+             "--time-limit", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "solver kind" in out
+
+    def test_fig11_restricted(self, capsys):
+        assert main(
+            ["experiments", "fig11", "--workflows", "2", "9",
+             "--time-limit", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "union-division" in out
+
+
+class TestIdentifyBudget:
+    def test_budget_schedules_executions(self, wf_json, capsys):
+        assert main(["identify", wf_json, "--no-fk", "--budget", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "memory budget" in out
+        assert "run 1:" in out
+
+    def test_large_budget_single_run(self, wf_json, capsys):
+        assert main(["identify", wf_json, "--budget", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "1 execution(s)" in out

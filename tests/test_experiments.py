@@ -1,0 +1,64 @@
+"""Tests for the experiment-sweep library (repro.experiments)."""
+
+import pytest
+
+from repro.experiments import (
+    SuiteContext,
+    data_characteristics_rows,
+    fig9_rows,
+    fig11_rows,
+    fig12_rows,
+    format_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def small_context():
+    return SuiteContext.build([2, 9, 15])
+
+
+class TestSuiteContext:
+    def test_build_restricts(self, small_context):
+        assert [c.number for c in small_context.cases] == [2, 9, 15]
+        assert len(small_context.analyses) == 3
+
+    def test_build_all(self):
+        context = SuiteContext.build()
+        assert len(context.cases) == 30
+
+
+class TestSweeps:
+    def test_data_rows_shape(self):
+        header, rows = data_characteristics_rows()
+        assert header[0] == "Stat"
+        assert [r[0] for r in rows] == ["Max", "Min", "Mean", "Median"]
+
+    def test_fig9(self, small_context):
+        header, rows = fig9_rows(small_context)
+        assert len(rows) == 3
+        for _wf, n_se, css_noud, css_ud in rows:
+            assert css_ud >= css_noud
+            assert n_se >= 1
+
+    def test_fig11_ud_never_worse(self, small_context):
+        _header, rows = fig11_rows(small_context, time_limit=10)
+        for _wf, noud, ud, _tag in rows:
+            assert ud <= noud + 1e-6
+
+    def test_fig12(self, small_context):
+        _header, rows = fig12_rows(small_context)
+        by_wf = {r[0]: r for r in rows}
+        assert by_wf[2][1] == 1
+        assert by_wf[9][1] == 3
+        for row in rows:
+            assert row[2] >= row[1]  # found >= lower bound
+            assert row[5] == 1       # ours: single execution
+
+
+class TestFormatting:
+    def test_format_rows_alignment(self):
+        text = format_rows(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}

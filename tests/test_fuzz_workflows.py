@@ -1,0 +1,181 @@
+"""Randomized end-to-end fuzzing of the whole framework.
+
+For dozens of seeded-random workflows (random join graphs, filters,
+transforms, reject links, aggregations), the pipeline must uphold its core
+guarantees:
+
+1. block analysis produces a valid decomposition;
+2. statistics identification is feasible and both solvers return valid
+   selections;
+3. after one instrumented run of the initial plan, the estimator recovers
+   the exact cardinality of EVERY sub-expression (brute-force checked);
+4. the optimizer's chosen plan never costs more than the initial plan
+   under the learned (exact) cardinalities.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.blocks import analyze
+from repro.algebra.operators import (
+    Aggregate,
+    Filter,
+    Join,
+    Predicate,
+    Project,
+    Source,
+    Target,
+    Transform,
+    UdfSpec,
+    Workflow,
+)
+from repro.algebra.schema import Catalog
+from repro.core.costs import CostModel
+from repro.core.generator import generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.ilp import solve_ilp
+from repro.core.selection import build_problem
+from repro.engine.executor import Executor
+from repro.engine.ground_truth import ground_truth_cardinalities
+from repro.engine.instrumentation import TapSet
+from repro.engine.table import Table
+from repro.estimation.estimator import CardinalityEstimator
+from repro.estimation.optimizer import PlanOptimizer
+
+ATTR_POOL = {f"a{i}": 6 + 3 * i for i in range(6)}  # domains 6..21
+
+
+def random_workflow(seed: int) -> tuple[Workflow, dict[str, Table]]:
+    """A random but valid workflow plus matching random tables."""
+    rng = random.Random(seed)
+    n_rels = rng.randint(2, 5)
+    catalog = Catalog()
+    attrs_of: dict[str, list[str]] = {}
+    attr_names = list(ATTR_POOL)
+
+    # chain-ish attribute sharing guarantees joinability
+    for i in range(n_rels):
+        name = f"R{i}"
+        shared_prev = attr_names[i % len(attr_names)]
+        shared_next = attr_names[(i + 1) % len(attr_names)]
+        extra = rng.sample(attr_names, rng.randint(0, 2))
+        attrs = sorted({shared_prev, shared_next, *extra})
+        catalog.add_relation(name, {a: ATTR_POOL[a] for a in attrs})
+        attrs_of[name] = attrs
+
+    nodes = {}
+    for name in attrs_of:
+        node = Source(catalog, name)
+        # random pre-join filter / transform
+        if rng.random() < 0.4:
+            attr = rng.choice(attrs_of[name])
+            threshold = rng.randint(2, ATTR_POOL[attr])
+            node = Filter(
+                node,
+                attr,
+                Predicate(f"lt{threshold}", lambda v, t=threshold: v <= t),
+            )
+        if rng.random() < 0.25:
+            attr = rng.choice(attrs_of[name])
+            node = Transform(
+                node, attr, UdfSpec("wrap", lambda v: (v * 3) % 23 + 1)
+            )
+        if rng.random() < 0.2 and len(node.output_attrs()) > 2:
+            keep = rng.sample(node.output_attrs(), len(node.output_attrs()) - 1)
+            node = Project(node, tuple(sorted(keep)))
+        nodes[name] = node
+
+    # join everything up, respecting shared attributes
+    order = list(attrs_of)
+    rng.shuffle(order)
+    current = nodes[order[0]]
+    current_attrs = set(current.output_attrs())
+    joined = [order[0]]
+    remaining = order[1:]
+    while remaining:
+        progressed = False
+        for name in list(remaining):
+            shared = sorted(current_attrs & set(nodes[name].output_attrs()))
+            if not shared:
+                continue
+            attr = rng.choice(shared)
+            reject = rng.random() < 0.15
+            current = Join(current, nodes[name], attr, reject_left=reject)
+            current_attrs |= set(nodes[name].output_attrs())
+            joined.append(name)
+            remaining.remove(name)
+            progressed = True
+            break
+        if not progressed:
+            # no shared attribute: drop the unjoinable relations
+            break
+
+    if rng.random() < 0.2 and len(current.output_attrs()) >= 2:
+        group = tuple(sorted(rng.sample(current.output_attrs(), 1)))
+        current = Aggregate(current, group, {"n": ("count", group[0])})
+    workflow = Workflow(f"fuzz{seed}", catalog, [Target(current, "out")])
+
+    tables = {}
+    for name in joined:
+        n_rows = rng.randint(5, 60)
+        tables[name] = Table(
+            {
+                a: [rng.randint(1, ATTR_POOL[a]) for _ in range(n_rows)]
+                for a in attrs_of[name]
+            }
+        )
+    # unjoined relations may still be workflow sources if they were dropped
+    for name in attrs_of:
+        tables.setdefault(
+            name,
+            Table(
+                {
+                    a: [rng.randint(1, ATTR_POOL[a]) for _ in range(5)]
+                    for a in attrs_of[name]
+                }
+            ),
+        )
+    return workflow, tables
+
+
+SEEDS = list(range(36))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_end_to_end(seed):
+    workflow, tables = random_workflow(seed)
+    analysis = analyze(workflow)
+
+    # 1. analysis invariants
+    for block in analysis.blocks:
+        universe = block.universe()
+        assert len(universe) == len(set(universe))
+        for se in block.join_ses():
+            assert block.graph.is_connected(se.relations)
+
+    # 2. identification feasible; both solvers valid
+    catalog = generate_css(analysis)
+    problem = build_problem(catalog, CostModel(workflow.catalog))
+    solver = solve_ilp if seed % 2 == 0 else solve_greedy
+    result = solver(problem)
+    assert result.is_valid
+
+    # 3. instrumented run -> exact estimates everywhere
+    taps = TapSet(result.observed)
+    run = Executor(analysis).run(tables, taps=taps)
+    assert taps.missing() == []
+    estimator = CardinalityEstimator(catalog, run.observations)
+    have, total = estimator.coverage()
+    assert have == total, estimator.missing()
+    truth = ground_truth_cardinalities(analysis, tables)
+    for se, actual in truth.items():
+        assert estimator.cardinality(se) == pytest.approx(actual), (
+            seed,
+            se,
+        )
+
+    # 4. the optimizer only ever improves on the initial plan
+    optimizer = PlanOptimizer(analysis, estimator.all_cardinalities())
+    for name, plan in optimizer.optimize().items():
+        assert plan.cost <= plan.initial_cost + 1e-9

@@ -1,0 +1,78 @@
+"""Golden snapshot: the identification outputs for all 30 workflows.
+
+Pins (#SE, #CSS without UD, #CSS with UD, #observable) per workflow so any
+change to block analysis, SE enumeration or the rule set shows up as an
+explicit, reviewable diff.  If a deliberate change moves these numbers,
+regenerate with::
+
+    python -c "import tests.workloads.test_golden_counts as g; g.regenerate()"
+"""
+
+from repro.algebra.blocks import analyze
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.workloads import suite
+
+#: wf -> (#SE required, #CSS no-UD, #CSS UD, #observable statistics)
+GOLDEN = {
+    1: (3, 3, 3, 4),
+    2: (2, 1, 1, 2),
+    3: (3, 3, 3, 4),
+    4: (3, 5, 5, 5),
+    5: (3, 2, 2, 4),
+    6: (4, 4, 4, 5),
+    7: (4, 4, 4, 6),
+    8: (4, 8, 8, 8),
+    9: (6, 15, 27, 15),
+    10: (7, 20, 32, 18),
+    11: (12, 70, 141, 36),
+    12: (6, 15, 27, 15),
+    13: (18, 179, 331, 64),
+    14: (17, 144, 295, 49),
+    15: (11, 43, 80, 30),
+    16: (11, 67, 138, 34),
+    17: (13, 59, 106, 37),
+    18: (6, 13, 13, 13),
+    19: (21, 145, 325, 54),
+    20: (14, 85, 228, 35),
+    21: (73, 3173, 4897, 176),
+    22: (8, 11, 11, 13),
+    23: (9, 38, 50, 26),
+    24: (6, 6, 6, 10),
+    25: (8, 20, 20, 18),
+    26: (19, 135, 261, 43),
+    27: (26, 285, 615, 55),
+    28: (27, 311, 569, 84),
+    29: (44, 1089, 1742, 105),
+    30: (26, 353, 534, 71),
+}
+
+
+def _counts(case):
+    analysis = analyze(case.build())
+    ud = generate_css(analysis, GeneratorOptions(fk_rules=False))
+    noud = generate_css(
+        analysis, GeneratorOptions(union_division=False, fk_rules=False)
+    )
+    cu = ud.counts()
+    return (
+        cu["required"],
+        noud.counts()["css"],
+        cu["css"],
+        cu["observable"],
+    )
+
+
+def test_identification_counts_are_stable():
+    mismatches = {}
+    for case in suite():
+        got = _counts(case)
+        if got != GOLDEN[case.number]:
+            mismatches[case.number] = (GOLDEN[case.number], got)
+    assert not mismatches, f"golden counts moved: {mismatches}"
+
+
+def regenerate():  # pragma: no cover - developer utility
+    print("GOLDEN = {")
+    for case in suite():
+        print(f"    {case.number}: {_counts(case)},")
+    print("}")

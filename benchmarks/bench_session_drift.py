@@ -20,7 +20,6 @@ from repro.engine.executor import Executor
 from repro.engine.table import Table
 from repro.estimation.costmodel import PlanCostModel
 from repro.framework.pipeline import StatisticsPipeline
-from repro.workloads import case as suite_case
 
 from repro.algebra.operators import Join, Source, Target, Workflow
 from repro.algebra.schema import Catalog

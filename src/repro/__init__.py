@@ -49,8 +49,15 @@ from repro.core.persistence import SessionState, load_statistics, save_statistic
 from repro.core.resource import ConstrainedSchedule, plan_constrained
 from repro.core.selection import SelectionResult, build_problem
 from repro.core.statistics import StatKind, Statistic, StatisticsStore
+from repro.engine.backend import (
+    BackendExecutor,
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+)
 from repro.engine.executor import Executor, WorkflowRun, execute_workflow
 from repro.engine.instrumentation import TapSet
+from repro.engine.scheduler import ParallelScheduler
 from repro.engine.table import Table
 from repro.estimation.estimator import CardinalityEstimator
 from repro.estimation.optimizer import PlanOptimizer, optimize_workflow
@@ -60,10 +67,12 @@ from repro.framework.session import EtlSession
 __version__ = "1.0.0"
 
 __all__ = [
-    "Aggregate", "AggregateUDF", "analyze", "Block", "BlockAnalysis",
+    "Aggregate", "AggregateUDF", "analyze", "available_backends",
+    "BackendExecutor", "Block", "BlockAnalysis",
     "build_problem", "CardinalityEstimator", "Catalog",
     "ConstrainedSchedule", "CostModel", "CSS", "CssCatalog", "EtlSession",
-    "execute_workflow", "Executor", "Filter", "generate_css",
+    "execute_workflow", "ExecutionBackend", "Executor", "Filter",
+    "generate_css", "get_backend", "ParallelScheduler",
     "GeneratorOptions", "Histogram", "Join", "Materialize",
     "optimize_workflow", "PipelineReport", "plan_constrained",
     "PlanOptimizer", "Predicate", "Project", "RejectJoinSE", "RejectSE",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.algebra.blocks import BlockAnalysis
 from repro.algebra.operators import Join, Node, Source, Target, Workflow
-from repro.algebra.plans import JoinNode, Leaf, PlanTree
+from repro.algebra.plans import Leaf, PlanTree
 
 
 def _esc(text: str) -> str:

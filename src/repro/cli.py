@@ -7,6 +7,10 @@ console script):
   decomposition of a serialized workflow;
 - ``identify <workflow.json|.xml>`` -- run statistics identification
   (Algorithm 1 + the Section 5 selection) and print the chosen set;
+- ``run --number N`` -- execute a suite workflow end to end on a chosen
+  execution backend (``--backend columnar|streaming|vectorized``,
+  ``--workers W`` for the parallel block scheduler) and print the
+  observe-and-optimize report;
 - ``suite [--number N]`` -- describe the built-in 30-workflow benchmark;
 - ``experiments <data|fig9|fig10|fig11|fig12>`` -- regenerate a Section 7
   table/figure and print it;
@@ -32,6 +36,7 @@ from repro.core.generator import GeneratorOptions, generate_css
 from repro.core.greedy import solve_greedy
 from repro.core.ilp import solve_ilp
 from repro.core.selection import build_problem
+from repro.engine.backend import available_backends
 from repro.workloads import case, suite
 
 
@@ -98,6 +103,34 @@ def _cmd_identify(args) -> int:
     if args.verbose:
         print()
         print(catalog.describe())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.framework.pipeline import StatisticsPipeline
+
+    wfcase = case(args.number)
+    workflow = wfcase.build()
+    sources = wfcase.tables(scale=args.scale, seed=args.seed)
+    pipeline = StatisticsPipeline(
+        workflow,
+        solver=args.solver,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    report = pipeline.run_once(sources)
+    total_in = sum(t.num_rows for t in sources.values())
+    print(
+        f"wf{wfcase.number:02d} {wfcase.name} on backend={args.backend} "
+        f"workers={args.workers} ({total_in} source rows)"
+    )
+    for name in sorted(report.run.targets):
+        print(f"  target {name}: {report.run.targets[name].num_rows} rows")
+    print(report.describe())
+    print(
+        "timings: "
+        + ", ".join(f"{k} {v * 1e3:.1f}ms" for k, v in report.timings.items())
+    )
     return 0
 
 
@@ -185,6 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_identify)
+
+    p = sub.add_parser(
+        "run", help="execute a suite workflow on a chosen backend"
+    )
+    p.add_argument("--number", type=int, required=True)
+    p.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="columnar",
+        help="execution backend for the instrumented run",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel block-scheduler width (1 = serial)",
+    )
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--solver", choices=("ilp", "greedy"), default="greedy")
+    p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("suite", help="describe the 30-workflow benchmark")
     p.add_argument("--number", type=int, default=None)

@@ -226,8 +226,6 @@ def measure_errors(
             measured[stat] = 0.0
             continue
         err = 0.0
-        import bisect
-
         for key, freq in value.counts.items():
             v = key[0]
             # reconstruct the bucketized estimate for this value

@@ -1,13 +1,37 @@
-"""Execution engine: columnar tables, physical operators, instrumentation."""
+"""Execution engine: columnar tables, physical operators, instrumentation.
 
-from repro.engine.executor import Executor, WorkflowRun, execute_workflow
+Execution is organized around pluggable backends (see
+:mod:`repro.engine.backend`): the columnar, streaming and vectorized
+backends share one plan-walking core and differ only in kernels and
+instrumentation style.  ``get_backend("columnar" | "streaming" |
+"vectorized")`` resolves one by name; :class:`BackendExecutor` runs it,
+optionally scheduling independent blocks in parallel.
+"""
+
+from repro.engine.backend import (
+    BackendExecutor,
+    ExecutionBackend,
+    Kernels,
+    RunContext,
+    WorkflowRun,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.executor import ColumnarBackend, Executor, execute_workflow
 from repro.engine.ground_truth import ground_truth_cardinalities
 from repro.engine.instrumentation import InstrumentationError, TapSet
-from repro.engine.streaming import StreamExecutor, StreamingTaps
+from repro.engine.scheduler import ParallelScheduler, SchedulerError, topological_waves
+from repro.engine.streaming import StreamExecutor, StreamingBackend, StreamingTaps
 from repro.engine.table import Table, TableError
+from repro.engine.vectorized import VectorizedBackend, VectorizedKernels
 
 __all__ = [
-    "execute_workflow", "Executor", "ground_truth_cardinalities",
-    "InstrumentationError", "StreamExecutor", "StreamingTaps", "Table",
-    "TableError", "TapSet", "WorkflowRun",
+    "available_backends", "BackendExecutor", "ColumnarBackend",
+    "execute_workflow", "ExecutionBackend", "Executor", "get_backend",
+    "ground_truth_cardinalities", "InstrumentationError", "Kernels",
+    "ParallelScheduler", "register_backend", "RunContext", "SchedulerError",
+    "StreamExecutor", "StreamingBackend", "StreamingTaps", "Table",
+    "TableError", "TapSet", "topological_waves", "VectorizedBackend",
+    "VectorizedKernels", "WorkflowRun",
 ]

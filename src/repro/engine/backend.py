@@ -1,0 +1,290 @@
+"""Pluggable execution backends: one plan-walking core, many kernel sets.
+
+The paper treats the ETL engine as a swappable component with fixed
+observation points (Sections 3.2.5-3.2.6): the optimization framework only
+needs *some* engine that executes the analyzed plan and fires the taps at
+every plan point.  This module makes that explicit.  An
+:class:`ExecutionBackend` owns
+
+- the **physical operator kernels** (:class:`Kernels`): filter/transform/
+  project steps, hash join, group-by, blocking UDFs;
+- the **block execution strategy**: materialized column-at-a-time
+  (columnar, vectorized) or per-tuple pipelined (streaming);
+- the **instrumentation style**: table-level taps
+  (:class:`~repro.engine.instrumentation.TapSet`) or per-tuple accumulators
+  (:class:`~repro.engine.streaming.StreamingTaps`).
+
+:class:`BackendExecutor` is the shared plan-walking core that used to be
+duplicated between the columnar and streaming executors: it checks the
+sources, turns blocks and boundaries into dependency tasks, runs them
+through a :class:`~repro.engine.scheduler.ParallelScheduler` (serially by
+default, concurrently with ``workers > 1``), applies boundary operators,
+and collects the observations.
+
+Backends register by name; :func:`get_backend` resolves ``"columnar"``,
+``"streaming"`` and ``"vectorized"`` lazily so the framework, the CLI and
+the benchmarks can thread a backend choice around as a plain string.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Iterable
+
+from repro.algebra.blocks import Block, BlockAnalysis, BoundaryOp
+from repro.algebra.expressions import AnySE, RejectSE, SubExpression
+from repro.algebra.operators import Aggregate, AggregateUDF, Materialize, Target
+from repro.algebra.plans import PlanTree
+from repro.core.statistics import StatisticsStore
+from repro.engine import physical
+from repro.engine.scheduler import ParallelScheduler, SchedulerError, Task
+from repro.engine.table import Table, TableError
+
+
+@dataclass
+class WorkflowRun:
+    """Everything a single execution produced."""
+
+    env: dict[str, Table] = field(default_factory=dict)
+    targets: dict[str, Table] = field(default_factory=dict)
+    observations: StatisticsStore = field(default_factory=StatisticsStore)
+    se_sizes: dict[AnySE, int] = field(default_factory=dict)
+    rejects: dict[RejectSE, Table] = field(default_factory=dict)
+
+    def target(self, name: str) -> Table:
+        return self.targets[name]
+
+
+class Kernels:
+    """Physical operator namespace a backend executes with.
+
+    The base set is the row-at-a-time reference implementation from
+    :mod:`repro.engine.physical`; the vectorized backend substitutes
+    column-at-a-time kernels with the same signatures and semantics.
+    A fresh instance is created per run (:meth:`ExecutionBackend
+    .make_kernels`) so kernels may keep run-scoped state such as join
+    build caches.
+    """
+
+    name = "reference"
+
+    apply_step = staticmethod(physical.apply_step)
+    hash_join = staticmethod(physical.hash_join)
+    group_by = staticmethod(physical.group_by)
+    apply_aggregate_udf = staticmethod(physical.apply_aggregate_udf)
+
+
+@dataclass
+class RunContext:
+    """Per-run state shared by the core and the backend's block executor.
+
+    ``lock`` serializes writes to the run-wide mutable maps when blocks
+    execute on scheduler threads; ``state`` is backend scratch space
+    (e.g. the streaming backend's claimed observation points).
+    """
+
+    run: WorkflowRun
+    taps: Any
+    kernels: Kernels
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    state: dict = field(default_factory=dict)
+
+    def note(self, se: AnySE, table: Table) -> None:
+        """Record a plan point's size and fire the table-level taps."""
+        with self.lock:
+            self.run.se_sizes[se] = table.num_rows
+            self.taps.observe(se, table)
+
+    def note_reject(self, se: RejectSE, table: Table) -> None:
+        with self.lock:
+            self.run.rejects[se] = table
+            self.run.se_sizes[se] = table.num_rows
+            self.taps.observe(se, table)
+
+
+class ExecutionBackend:
+    """The protocol every execution backend implements."""
+
+    #: registry key; also used for per-backend cost-model constants
+    name: str = "abstract"
+
+    def make_kernels(self) -> Kernels:
+        """Fresh per-run kernel set (may carry run-scoped caches)."""
+        return Kernels()
+
+    def make_taps(self, stats: Iterable = ()):
+        """Instrumentation object compatible with this backend."""
+        raise NotImplementedError
+
+    def execute_block(self, block: Block, tree: PlanTree, ctx: RunContext) -> Table:
+        """Run one optimizable block with the given join tree."""
+        raise NotImplementedError
+
+    def observe_boundary(self, ctx: RunContext, se: SubExpression, table: Table) -> None:
+        """Fire taps for a boundary output (no-op for per-tuple backends,
+        whose downstream block streams already observe the same point)."""
+        ctx.note(se, table)
+
+    def collect(self, taps) -> StatisticsStore:
+        """Turn the taps' accumulated state into a statistics store."""
+        raise NotImplementedError
+
+
+class BackendExecutor:
+    """The shared plan-walking core: schedules blocks and boundaries.
+
+    This is the engine-side half of the Figure 2 loop -- "run the
+    instrumented plan".  It is backend-agnostic: all physical work happens
+    inside :meth:`ExecutionBackend.execute_block` and the boundary kernels.
+    """
+
+    def __init__(
+        self,
+        analysis: BlockAnalysis,
+        backend: "ExecutionBackend | str | None" = None,
+        workers: int = 1,
+    ):
+        self.analysis = analysis
+        if backend is None:
+            backend = "columnar"
+        if isinstance(backend, str):
+            backend = get_backend(backend)
+        self.backend = backend
+        self.workers = max(int(workers), 1)
+
+    def run(
+        self,
+        sources: dict[str, Table],
+        trees: dict[str, PlanTree] | None = None,
+        taps=None,
+    ) -> WorkflowRun:
+        """Execute the workflow.
+
+        ``trees`` maps block names to replacement join trees (defaults to
+        each block's initial plan); ``taps`` is the instrumentation to fire
+        (defaults to an empty tap set of the backend's flavour).
+        """
+        trees = trees or {}
+        taps = taps if taps is not None else self.backend.make_taps(())
+        self._check_sources(sources)
+        run = WorkflowRun(env=dict(sources))
+        ctx = RunContext(run=run, taps=taps, kernels=self.backend.make_kernels())
+
+        tasks: list[Task] = []
+        for block in self.analysis.blocks:
+            tree = trees.get(block.name, block.initial_tree)
+            tasks.append(
+                Task(
+                    name=block.name,
+                    provides=block.output_name,
+                    requires=tuple(
+                        sorted({inp.base_name for inp in block.inputs.values()})
+                    ),
+                    fn=partial(self._run_block, block, tree, ctx),
+                )
+            )
+        for boundary in self.analysis.boundaries:
+            tasks.append(
+                Task(
+                    name=boundary.output_name,
+                    provides=boundary.output_name,
+                    requires=(boundary.input_name,),
+                    fn=partial(self._run_boundary, boundary, ctx),
+                )
+            )
+
+        try:
+            ParallelScheduler(self.workers).execute(tasks, available=set(run.env))
+        except SchedulerError as exc:  # pragma: no cover - analysis emits a DAG
+            raise TableError(
+                f"workflow execution deadlocked; block analysis produced "
+                f"a cyclic dependency ({exc})"
+            ) from exc
+
+        run.observations = self.backend.collect(taps)
+        return run
+
+    # ------------------------------------------------------------------
+    def _run_block(
+        self, block: Block, tree: PlanTree, ctx: RunContext
+    ) -> None:
+        ctx.run.env[block.output_name] = self.backend.execute_block(block, tree, ctx)
+
+    def _run_boundary(self, boundary: BoundaryOp, ctx: RunContext) -> None:
+        node = boundary.node
+        run = ctx.run
+        table = run.env[boundary.input_name]
+        if isinstance(node, Target):
+            run.targets[node.name] = table
+            return
+        kernels = ctx.kernels
+        if isinstance(node, Aggregate):
+            out = kernels.group_by(table, node.group_attrs, node.aggregates)
+        elif isinstance(node, AggregateUDF):
+            out = kernels.apply_aggregate_udf(table, node.fn)
+        elif isinstance(node, Materialize):
+            out = table
+        else:  # pragma: no cover - analysis emits only these
+            raise TableError(f"unexpected boundary {node.label}")
+        run.env[boundary.output_name] = out
+        out_se = SubExpression.of(boundary.output_name)
+        with ctx.lock:
+            run.se_sizes[out_se] = out.num_rows
+        self.backend.observe_boundary(ctx, out_se, out)
+
+    def _check_sources(self, sources: dict[str, Table]) -> None:
+        missing = [
+            name
+            for name in self.analysis.workflow.source_names()
+            if name not in sources
+        ]
+        if missing:
+            raise TableError(f"missing source tables: {missing}")
+
+
+# ---------------------------------------------------------------------------
+# backend registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[], ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (overrides allowed)."""
+    _REGISTRY[name] = factory
+
+
+def _builtin_factories() -> None:
+    if "columnar" not in _REGISTRY:
+        from repro.engine.executor import ColumnarBackend
+
+        register_backend("columnar", ColumnarBackend)
+    if "streaming" not in _REGISTRY:
+        from repro.engine.streaming import StreamingBackend
+
+        register_backend("streaming", StreamingBackend)
+    if "vectorized" not in _REGISTRY:
+        from repro.engine.vectorized import VectorizedBackend
+
+        register_backend("vectorized", VectorizedBackend)
+
+
+def available_backends() -> list[str]:
+    """Names of every registered backend."""
+    _builtin_factories()
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Resolve a backend name to a fresh backend instance."""
+    _builtin_factories()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise TableError(
+            f"unknown execution backend {name!r}; "
+            f"available: {available_backends()}"
+        ) from None
+    return factory()

@@ -1,4 +1,4 @@
-"""Workflow execution: runs blocks (optionally re-ordered) over tables.
+"""Columnar workflow execution: runs blocks (optionally re-ordered) over tables.
 
 The executor is the "run instrumented plan" step of the framework
 (Section 3.2.6).  It executes each optimizable block with either its
@@ -9,138 +9,64 @@ operators between blocks, produces the target record-sets, and fires the
 Every point's row count is recorded in ``se_sizes`` regardless of taps --
 this is the passive monitoring signal (the LEO-style baseline) and the
 previous-run SE sizes the CPU cost metric needs (Section 5.4).
+
+The plan-walking core (scheduling blocks and boundaries over the analysis
+DAG) lives in :class:`~repro.engine.backend.BackendExecutor`;
+:class:`ColumnarBackend` supplies the materialized column-at-a-time block
+execution strategy, shared with the vectorized backend which only swaps
+the kernels.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.algebra.blocks import Block, BlockAnalysis
-from repro.algebra.expressions import AnySE, RejectSE, SubExpression
-from repro.algebra.operators import Aggregate, AggregateUDF, Materialize, Target
-from repro.algebra.plans import Leaf, PlanTree
+from repro.algebra.blocks import Block
+from repro.algebra.expressions import RejectSE, SubExpression
+from repro.algebra.plans import Leaf, PlanTree, leaves as _tree_leaves
 from repro.core.statistics import StatisticsStore
-from repro.engine.instrumentation import TapSet
-from repro.engine.physical import (
-    apply_aggregate_udf,
-    apply_step,
-    group_by,
-    hash_join,
+from repro.engine.backend import (
+    BackendExecutor,
+    ExecutionBackend,
+    RunContext,
+    WorkflowRun,
 )
+from repro.engine.instrumentation import TapSet
 from repro.engine.table import Table, TableError
 
-
-@dataclass
-class WorkflowRun:
-    """Everything a single execution produced."""
-
-    env: dict[str, Table] = field(default_factory=dict)
-    targets: dict[str, Table] = field(default_factory=dict)
-    observations: StatisticsStore = field(default_factory=StatisticsStore)
-    se_sizes: dict[AnySE, int] = field(default_factory=dict)
-    rejects: dict[RejectSE, Table] = field(default_factory=dict)
-
-    def target(self, name: str) -> Table:
-        return self.targets[name]
+__all__ = [
+    "ColumnarBackend",
+    "Executor",
+    "WorkflowRun",
+    "execute_workflow",
+]
 
 
-class Executor:
-    """Executes an analyzed workflow over source tables."""
+class ColumnarBackend(ExecutionBackend):
+    """Materialized column-at-a-time execution with table-level taps."""
 
-    def __init__(self, analysis: BlockAnalysis):
-        self.analysis = analysis
+    name = "columnar"
 
-    def run(
-        self,
-        sources: dict[str, Table],
-        trees: dict[str, PlanTree] | None = None,
-        taps: TapSet | None = None,
-    ) -> WorkflowRun:
-        """Execute the workflow.
+    def make_taps(self, stats=()):
+        return TapSet(stats)
 
-        ``trees`` maps block names to replacement join trees (defaults to
-        each block's initial plan); ``taps`` is the instrumentation to fire.
-        """
-        trees = trees or {}
-        taps = taps if taps is not None else TapSet()
-        run = WorkflowRun(env=dict(sources))
-        self._check_sources(sources)
-
-        # blocks and boundaries depend on each other's outputs; execute
-        # whatever is ready until everything has run
-        pending_blocks = list(self.analysis.blocks)
-        pending_boundaries = list(self.analysis.boundaries)
-        while pending_blocks or pending_boundaries:
-            progressed = False
-            for block in list(pending_blocks):
-                feeds = [inp.base_name for inp in block.inputs.values()]
-                if all(name in run.env for name in feeds):
-                    tree = trees.get(block.name, block.initial_tree)
-                    run.env[block.output_name] = self._execute_block(
-                        block, tree, run, taps
-                    )
-                    pending_blocks.remove(block)
-                    progressed = True
-            for boundary in list(pending_boundaries):
-                if boundary.input_name in run.env:
-                    self._execute_boundary(boundary, run, taps)
-                    pending_boundaries.remove(boundary)
-                    progressed = True
-            if not progressed:  # pragma: no cover - analysis emits a DAG
-                raise TableError(
-                    "workflow execution deadlocked; block analysis produced "
-                    "a cyclic dependency"
-                )
-
-        run.observations = taps.store
-        return run
-
-    def _execute_boundary(
-        self, boundary, run: WorkflowRun, taps: TapSet
-    ) -> None:
-        node = boundary.node
-        table = run.env[boundary.input_name]
-        if isinstance(node, Target):
-            run.targets[node.name] = table
-            return
-        if isinstance(node, Aggregate):
-            out = group_by(table, node.group_attrs, node.aggregates)
-        elif isinstance(node, AggregateUDF):
-            out = apply_aggregate_udf(table, node.fn)
-        elif isinstance(node, Materialize):
-            out = table
-        else:  # pragma: no cover - analysis emits only these
-            raise TableError(f"unexpected boundary {node.label}")
-        run.env[boundary.output_name] = out
-        out_se = SubExpression.of(boundary.output_name)
-        run.se_sizes[out_se] = out.num_rows
-        taps.observe(out_se, out)
+    def collect(self, taps: TapSet) -> StatisticsStore:
+        return taps.store
 
     # ------------------------------------------------------------------
-    def _check_sources(self, sources: dict[str, Table]) -> None:
-        missing = [
-            name
-            for name in self.analysis.workflow.source_names()
-            if name not in sources
-        ]
-        if missing:
-            raise TableError(f"missing source tables: {missing}")
-
-    def _execute_block(
-        self, block: Block, tree: PlanTree, run: WorkflowRun, taps: TapSet
-    ) -> Table:
-        if set(leaf.name for leaf in _tree_leaves(tree)) != set(block.inputs):
+    def execute_block(self, block: Block, tree: PlanTree, ctx: RunContext) -> Table:
+        if {leaf.name for leaf in _tree_leaves(tree)} != set(block.inputs):
             raise TableError(
                 f"plan tree for {block.name} does not cover its inputs"
             )
+        kernels = ctx.kernels
+        run, taps = ctx.run, ctx.taps
         inputs: dict[str, Table] = {}
         for name, inp in sorted(block.inputs.items()):
             table = run.env[inp.base_name]
             stage_names = inp.stage_names()
-            self._note(run, taps, SubExpression.of(stage_names[0]), table)
+            ctx.note(SubExpression.of(stage_names[0]), table)
             for step, stage in zip(inp.steps, stage_names[1:]):
-                table = apply_step(table, step)
-                self._note(run, taps, SubExpression.of(stage), table)
+                table = kernels.apply_step(table, step)
+                ctx.note(SubExpression.of(stage), table)
             inputs[name] = table
 
         wanted_rejects = taps.reject_requests() | set(block.materialized_rejects)
@@ -157,25 +83,23 @@ class Executor:
             rej_right = RejectSE(node.right.se, rej_key, node.left.se)
             want_l = rej_left in wanted_rejects
             want_r = rej_right in wanted_rejects
-            result, reject_l, reject_r = hash_join(
+            result, reject_l, reject_r = kernels.hash_join(
                 left, right, key, want_l, want_r
             )
             if want_l:
-                run.rejects[rej_left] = reject_l
-                run.se_sizes[rej_left] = reject_l.num_rows
-                taps.observe(rej_left, reject_l)
+                ctx.note_reject(rej_left, reject_l)
             if want_r:
-                run.rejects[rej_right] = reject_r
-                run.se_sizes[rej_right] = reject_r.num_rows
-                taps.observe(rej_right, reject_r)
-            result = self._apply_floating(block, node.se, result, applied_floating)
-            self._note(run, taps, node.se, result)
+                ctx.note_reject(rej_right, reject_r)
+            result = self._apply_floating(
+                block, node.se, result, applied_floating, ctx
+            )
+            ctx.note(node.se, result)
             return result
 
         table = exec_tree(tree)
         for step, stage in zip(block.post_steps, block.post_stage_ses()):
-            table = apply_step(table, step)
-            self._note(run, taps, stage, table)
+            table = kernels.apply_step(table, step)
+            ctx.note(stage, table)
         return table
 
     def _apply_floating(
@@ -184,30 +108,25 @@ class Executor:
         se: SubExpression,
         table: Table,
         applied: set[int],
+        ctx: RunContext,
     ) -> Table:
         for idx, op in enumerate(block.floating):
             if idx in applied or not (op.anchor <= se.relations):
                 continue
-            table = apply_step(table, op.step)
+            table = ctx.kernels.apply_step(table, op.step)
             applied.add(idx)
         return table
 
-    @staticmethod
-    def _note(
-        run: WorkflowRun, taps: TapSet, se: SubExpression, table: Table
-    ) -> None:
-        run.se_sizes[se] = table.num_rows
-        taps.observe(se, table)
 
+class Executor(BackendExecutor):
+    """Executes an analyzed workflow over source tables (columnar)."""
 
-def _tree_leaves(tree: PlanTree) -> list[Leaf]:
-    if isinstance(tree, Leaf):
-        return [tree]
-    return _tree_leaves(tree.left) + _tree_leaves(tree.right)
+    def __init__(self, analysis, workers: int = 1):
+        super().__init__(analysis, ColumnarBackend(), workers=workers)
 
 
 def execute_workflow(
-    analysis: BlockAnalysis,
+    analysis,
     sources: dict[str, Table],
     trees: dict[str, PlanTree] | None = None,
     taps: TapSet | None = None,

@@ -95,7 +95,7 @@ def hash_join(
         if want_reject_right:
             matched_right.update(matches)
 
-    result = Table(out_cols) if out_cols else Table.empty(out_left_attrs)
+    result = Table.wrap(out_cols) if out_cols else Table.empty(out_left_attrs)
     reject_left = left.take(reject_left_rows) if want_reject_left else None
     reject_right = None
     if want_reject_right:
@@ -143,7 +143,7 @@ def merge_join(
                     for a in out_right_attrs:
                         out_cols[a].append(right.columns[a][j])
             li, ri = l_end, r_end
-    return Table(out_cols)
+    return Table.wrap(out_cols)
 
 
 def nested_loop_join(
@@ -164,7 +164,7 @@ def nested_loop_join(
                     out_cols[a].append(left.columns[a][i])
                 for a in out_right_attrs:
                     out_cols[a].append(right.columns[a][j])
-    return Table(out_cols)
+    return Table.wrap(out_cols)
 
 
 def _key_of(table: Table, key: Sequence[str], row: int) -> tuple:
@@ -205,7 +205,7 @@ def group_by(
                 raise TableError(f"unknown aggregate {fn!r}")
     if not out:
         raise TableError("group-by needs group attributes or aggregates")
-    return Table(out)
+    return Table.wrap(out)
 
 
 def apply_aggregate_udf(table: Table, fn: Callable) -> Table:

@@ -1,4 +1,4 @@
-"""A streaming (per-tuple) executor: the paper's instrumentation model.
+"""A streaming (per-tuple) backend: the paper's instrumentation model.
 
 Section 3.2.5: *"Many commercial ETL engines provide a mechanism to plug in
 user defined handlers at any point in the flow.  These handlers are invoked
@@ -13,11 +13,12 @@ per tuple:
 - only hash-join build sides, blocking boundaries and materialized outputs
   buffer rows.
 
-The two executors are interchangeable: given the same plan and sources they
-produce identical targets, SE sizes and observed statistics (the test suite
-asserts it).  The streaming one exists because it exercises the *actual*
-code path an ETL engine would use — per-tuple observation with bounded
-instrumentation state.
+All backends are interchangeable: given the same plan and sources they
+produce identical targets, SE sizes and observed statistics (the
+cross-backend equivalence suite asserts it).  The streaming one exists
+because it exercises the *actual* code path an ETL engine would use --
+per-tuple observation with bounded instrumentation state.  It plugs into
+the shared plan-walking core as :class:`StreamingBackend`.
 """
 
 from __future__ import annotations
@@ -25,16 +26,26 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator
 
-from repro.algebra.blocks import Block, BlockAnalysis, Step
+from repro.algebra.blocks import Block, Step
 from repro.algebra.expressions import AnySE, RejectSE, SubExpression
-from repro.algebra.operators import Aggregate, AggregateUDF, Materialize, Target
 from repro.algebra.plans import JoinNode, Leaf, PlanTree
 from repro.core.histogram import Histogram
 from repro.core.statistics import StatKind, Statistic, StatisticsStore
-from repro.engine.executor import WorkflowRun
+from repro.engine.backend import (
+    BackendExecutor,
+    ExecutionBackend,
+    RunContext,
+    WorkflowRun,
+)
 from repro.engine.instrumentation import InstrumentationError
-from repro.engine.physical import group_by
 from repro.engine.table import Table, TableError
+
+__all__ = [
+    "StreamExecutor",
+    "StreamingBackend",
+    "StreamingTaps",
+    "WorkflowRun",
+]
 
 Row = dict
 
@@ -112,79 +123,44 @@ def _table_rows(table: Table) -> Iterator[Row]:
 
 
 def _rows_table(rows: list[Row], attrs: tuple[str, ...]) -> Table:
-    return Table({a: [r[a] for r in rows] for a in attrs}) if rows else Table.empty(attrs)
+    if not rows:
+        return Table.empty(attrs)
+    return Table.wrap({a: [r[a] for r in rows] for a in attrs})
 
 
-class StreamExecutor:
-    """Pipelined workflow execution with per-tuple taps."""
+class StreamingBackend(ExecutionBackend):
+    """Pipelined block execution with per-tuple taps."""
 
-    def __init__(self, analysis: BlockAnalysis):
-        self.analysis = analysis
+    name = "streaming"
 
-    def run(
-        self,
-        sources: dict[str, Table],
-        trees: dict[str, PlanTree] | None = None,
-        taps: StreamingTaps | None = None,
-    ) -> WorkflowRun:
-        trees = trees or {}
-        taps = taps if taps is not None else StreamingTaps()
-        run = WorkflowRun(env=dict(sources))
-        # a shared feed (source or boundary output consumed by several
-        # blocks) must be observed exactly once -- streaming counters are
-        # cumulative, unlike the columnar executor's idempotent puts
-        self._claimed_points: set[AnySE] = set()
+    def make_taps(self, stats=()):
+        return StreamingTaps(stats)
 
-        pending_blocks = list(self.analysis.blocks)
-        pending_boundaries = list(self.analysis.boundaries)
-        while pending_blocks or pending_boundaries:
-            progressed = False
-            for block in list(pending_blocks):
-                feeds = [inp.base_name for inp in block.inputs.values()]
-                if all(name in run.env for name in feeds):
-                    tree = trees.get(block.name, block.initial_tree)
-                    run.env[block.output_name] = self._execute_block(
-                        block, tree, run, taps
-                    )
-                    pending_blocks.remove(block)
-                    progressed = True
-            for boundary in list(pending_boundaries):
-                if boundary.input_name in run.env:
-                    self._execute_boundary(boundary, run, taps)
-                    pending_boundaries.remove(boundary)
-                    progressed = True
-            if not progressed:  # pragma: no cover - analysis emits a DAG
-                raise TableError("streaming execution deadlocked")
+    def collect(self, taps: StreamingTaps) -> StatisticsStore:
+        return taps.collect()
 
-        run.observations = taps.collect()
-        return run
-
-    # ------------------------------------------------------------------
-    def _execute_boundary(self, boundary, run: WorkflowRun, taps) -> None:
-        node = boundary.node
-        table = run.env[boundary.input_name]
-        if isinstance(node, Target):
-            run.targets[node.name] = table
-            return
-        if isinstance(node, Aggregate):
-            out = group_by(table, node.group_attrs, node.aggregates)
-        elif isinstance(node, AggregateUDF):
-            from repro.engine.physical import apply_aggregate_udf
-
-            out = apply_aggregate_udf(table, node.fn)
-        elif isinstance(node, Materialize):
-            out = table
-        else:  # pragma: no cover
-            raise TableError(f"unexpected boundary {node.label}")
-        run.env[boundary.output_name] = out
-        out_se = SubExpression.of(boundary.output_name)
-        run.se_sizes[out_se] = out.num_rows
+    def observe_boundary(self, ctx: RunContext, se, table) -> None:
         # no tap here: the downstream block's raw-stage stream observes this
         # SE; tapping both points would double-count in streaming mode
+        return None
 
-    def _execute_block(
-        self, block: Block, tree: PlanTree, run: WorkflowRun, taps
-    ) -> Table:
+    # ------------------------------------------------------------------
+    def _claim_point(self, ctx: RunContext, se: AnySE) -> bool:
+        """Claim a shared observation point exactly once per run.
+
+        A shared feed (source or boundary output consumed by several
+        blocks) must be observed exactly once -- streaming counters are
+        cumulative, unlike the columnar executor's idempotent puts.
+        """
+        with ctx.lock:
+            claimed = ctx.state.setdefault("claimed_points", set())
+            if se in claimed:
+                return False
+            claimed.add(se)
+            return True
+
+    def execute_block(self, block: Block, tree: PlanTree, ctx: RunContext) -> Table:
+        run, taps = ctx.run, ctx.taps
         wanted_rejects = taps.reject_requests() | set(block.materialized_rejects)
         counts: dict[AnySE, int] = defaultdict(int)
 
@@ -216,11 +192,9 @@ class StreamExecutor:
             rows: Iterator[Row] = _table_rows(run.env[inp.base_name])
             stage_names = inp.stage_names()
             raw_se = SubExpression.of(stage_names[0])
-            if raw_se in self._claimed_points:
-                pass  # size and stats already captured by the first consumer
-            else:
-                self._claimed_points.add(raw_se)
+            if self._claim_point(ctx, raw_se):
                 rows = tap_stream(raw_se, rows)
+            # else: size and stats already captured by the first consumer
             for step, stage in zip(inp.steps, stage_names[1:]):
                 rows = _apply_step_stream(rows, step)
                 rows = tap_stream(SubExpression.of(stage), rows)
@@ -267,7 +241,7 @@ class StreamExecutor:
                 # probe exhausted: emit reject links
                 if want_left:
                     self._note_reject(
-                        run, taps, rej_left, reject_left_rows, block, node.left.se
+                        ctx, rej_left, reject_left_rows, block, node.left.se
                     )
                 if want_right:
                     rejected = [
@@ -276,40 +250,50 @@ class StreamExecutor:
                         if tuple(r[a] for a in key) not in matched_keys
                     ]
                     self._note_reject(
-                        run, taps, rej_right, rejected, block, node.right.se
+                        ctx, rej_right, rejected, block, node.right.se
                     )
 
             return tap_stream(node.se, generate())
 
         # floating ops fire once their anchor is joined; handled per row
-        final_rows: list[Row] = []
-        stream = exec_tree(tree)
-        for row in stream:
-            final_rows.append(row)
+        final_rows = list(exec_tree(tree))
 
         out_attrs = block.se_attrs(tree.se)
         table = _rows_table(final_rows, tuple(out_attrs))
-        for se, n in counts.items():
-            run.se_sizes[se] = n
 
+        post_sizes: dict[AnySE, int] = {}
         for step, stage in zip(block.post_steps, block.post_stage_ses()):
             rows = _apply_step_stream(_table_rows(table), step)
             collected = list(tap_stream(stage, rows))
             table = _rows_table(collected, tuple(step.out_attrs))
-            run.se_sizes[stage] = table.num_rows
-        for se, n in counts.items():
-            run.se_sizes[se] = n
+            post_sizes[stage] = table.num_rows
+        with ctx.lock:
+            run.se_sizes.update(post_sizes)
+            run.se_sizes.update(counts)
         return table
 
     def _note_reject(
-        self, run, taps, rej: RejectSE, rows: list[Row], block: Block, src_se
+        self,
+        ctx: RunContext,
+        rej: RejectSE,
+        rows: list[Row],
+        block: Block,
+        src_se,
     ) -> None:
         attrs = tuple(block.se_attrs(src_se))
         table = _rows_table(rows, attrs)
-        run.rejects[rej] = table
-        run.se_sizes[rej] = table.num_rows
+        with ctx.lock:
+            ctx.run.rejects[rej] = table
+            ctx.run.se_sizes[rej] = table.num_rows
         for row in rows:
-            taps.observe_row(rej, row)
+            ctx.taps.observe_row(rej, row)
+
+
+class StreamExecutor(BackendExecutor):
+    """Pipelined workflow execution with per-tuple taps."""
+
+    def __init__(self, analysis, workers: int = 1):
+        super().__init__(analysis, StreamingBackend(), workers=workers)
 
 
 def _apply_step_row(row: Row, step: Step) -> Row | None:

@@ -29,10 +29,28 @@ class Table:
         if len(lengths) > 1:
             raise TableError(f"ragged columns: lengths {sorted(lengths)}")
         self.attrs = tuple(columns)
-        self.columns = dict(columns)
+        # copy the column lists: sharing them with the caller would let
+        # external mutation reach through the "immutable" table
+        self.columns = {a: list(col) for a, col in columns.items()}
         self._nrows = next(iter(lengths))
 
     # ------------------------------------------------------------------
+    @classmethod
+    def wrap(cls, columns: dict[str, list]) -> "Table":
+        """Trusted constructor: adopt the column lists without copying.
+
+        For engine-internal call sites whose columns are freshly built (or
+        owned by another table and never mutated); the public ``__init__``
+        defensively copies instead.  Columns must be equal-length lists.
+        """
+        if not columns:
+            raise TableError("a table needs at least one column")
+        table = cls.__new__(cls)
+        table.attrs = tuple(columns)
+        table.columns = dict(columns)
+        table._nrows = len(next(iter(columns.values())))
+        return table
+
     @classmethod
     def from_rows(cls, attrs: Sequence[str], rows: Iterable[tuple]) -> "Table":
         attrs = tuple(attrs)
@@ -42,11 +60,11 @@ class Table:
                 raise TableError(f"row {row!r} does not match attrs {attrs}")
             for a, v in zip(attrs, row):
                 columns[a].append(v)
-        return cls(columns)
+        return cls.wrap(columns)
 
     @classmethod
     def empty(cls, attrs: Sequence[str]) -> "Table":
-        return cls({a: [] for a in attrs})
+        return cls.wrap({a: [] for a in attrs})
 
     # ------------------------------------------------------------------
     @property
@@ -76,7 +94,7 @@ class Table:
         return [dict(zip(self.attrs, row)) for row in self.rows()]
 
     def take(self, indexes: Sequence[int]) -> "Table":
-        return Table(
+        return Table.wrap(
             {a: [col[i] for i in indexes] for a, col in self.columns.items()}
         )
 
@@ -85,10 +103,10 @@ class Table:
             raise TableError("new column length does not match table")
         columns = dict(self.columns)
         columns[attr] = list(values)
-        return Table(columns)
+        return Table.wrap(columns)
 
     def select_columns(self, attrs: Sequence[str]) -> "Table":
-        return Table({a: self.column(a) for a in attrs})
+        return Table.wrap({a: self.column(a) for a in attrs})
 
     def histogram(self, attrs: Sequence[str]) -> Histogram:
         """Exact frequency histogram over the given attributes."""

@@ -25,7 +25,7 @@ from enum import Enum
 
 from repro.algebra.blocks import BlockAnalysis
 from repro.algebra.expressions import AnySE
-from repro.algebra.plans import JoinNode, Leaf, PlanTree
+from repro.algebra.plans import Leaf, PlanTree
 
 
 class JoinAlgorithm(Enum):
@@ -72,6 +72,33 @@ class PhysicalPlan:
         return "\n".join(lines)
 
 
+#: per-backend cost-factor presets.  The abstract row-unit formulas are the
+#: same for every execution backend, but the *constants* are not: the
+#: streaming backend pays per-tuple dict materialization on every operator,
+#: while the vectorized backend amortizes per-row interpreter overhead into
+#: bulk gathers (calibrate with ``benchmarks/bench_backend_throughput.py``).
+BACKEND_COST_FACTORS: dict[str, dict[str, float]] = {
+    "columnar": {
+        "hash_build_factor": 1.5,
+        "sort_factor": 1.0,
+        "merge_factor": 1.0,
+        "nested_factor": 0.25,
+    },
+    "streaming": {
+        "hash_build_factor": 1.9,
+        "sort_factor": 1.3,
+        "merge_factor": 1.25,
+        "nested_factor": 0.32,
+    },
+    "vectorized": {
+        "hash_build_factor": 0.7,
+        "sort_factor": 0.45,
+        "merge_factor": 0.4,
+        "nested_factor": 0.12,
+    },
+}
+
+
 @dataclass
 class PhysicalCostModel:
     """Abstract per-row costs of the three join implementations."""
@@ -81,6 +108,21 @@ class PhysicalCostModel:
     sort_factor: float = 1.0  # multiplies n*log2(n)
     merge_factor: float = 1.0
     nested_factor: float = 0.25  # per inner-pair probe
+
+    @classmethod
+    def for_backend(
+        cls, backend: str, cardinalities: dict[AnySE, float], **overrides: float
+    ) -> "PhysicalCostModel":
+        """Cost model tuned to an execution backend's kernel constants."""
+        try:
+            factors = dict(BACKEND_COST_FACTORS[backend])
+        except KeyError:
+            raise KeyError(
+                f"no cost factors for backend {backend!r}; "
+                f"known: {sorted(BACKEND_COST_FACTORS)}"
+            ) from None
+        factors.update(overrides)
+        return cls(cardinalities, **factors)
 
     def size(self, se: AnySE) -> float:
         return float(self.cardinalities[se])
@@ -182,10 +224,15 @@ def physical_plans(
     analysis: BlockAnalysis,
     cardinalities: dict[AnySE, float],
     trees: dict[str, PlanTree] | None = None,
+    backend: str = "columnar",
 ) -> dict[str, PhysicalPlan]:
-    """Physical decisions for every block's (chosen or initial) tree."""
+    """Physical decisions for every block's (chosen or initial) tree.
+
+    ``backend`` selects the per-backend cost constants -- the same join
+    tree can warrant different physical operators on different engines.
+    """
     trees = trees or {}
-    planner = PhysicalPlanner(PhysicalCostModel(cardinalities))
+    planner = PhysicalPlanner(PhysicalCostModel.for_backend(backend, cardinalities))
     out: dict[str, PhysicalPlan] = {}
     for block in analysis.blocks:
         tree = trees.get(block.name, block.initial_tree)

@@ -28,8 +28,7 @@ from repro.core.greedy import solve_greedy
 from repro.core.ilp import solve_ilp
 from repro.core.selection import SelectionResult, build_problem
 from repro.core.statistics import Statistic
-from repro.engine.executor import Executor, WorkflowRun
-from repro.engine.instrumentation import TapSet
+from repro.engine.backend import BackendExecutor, WorkflowRun, get_backend
 from repro.engine.table import Table
 from repro.estimation.estimator import CardinalityEstimator
 from repro.estimation.optimizer import OptimizedPlan, PlanOptimizer
@@ -80,13 +79,17 @@ class StatisticsPipeline:
     workflow: Workflow
     generator_options: GeneratorOptions = field(default_factory=GeneratorOptions)
     solver: str = "ilp"  # "ilp" | "greedy"
-    executor: str = "columnar"  # "columnar" | "streaming"
+    executor: str = "columnar"  # deprecated alias for ``backend``
     cost_metric: str = "cout"
     free_statistics: set[Statistic] = field(default_factory=set)
     memory_weight: float = 1.0
     cpu_weight: float = 0.0
+    backend: str = "columnar"  # any name get_backend() resolves
+    workers: int = 1  # > 1 executes independent blocks concurrently
 
     def __post_init__(self) -> None:
+        if self.executor != "columnar" and self.backend == "columnar":
+            self.backend = self.executor
         self.analysis = analyze(self.workflow)
         self.catalog = generate_css(self.analysis, self.generator_options)
         self._se_sizes: dict = {}
@@ -141,14 +144,11 @@ class StatisticsPipeline:
         timings["selection"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        if self.executor == "streaming":
-            from repro.engine.streaming import StreamExecutor, StreamingTaps
-
-            taps = StreamingTaps(selection.observed)
-            run = StreamExecutor(analysis).run(sources, taps=taps)
-        else:
-            taps = TapSet(selection.observed)
-            run = Executor(analysis).run(sources, taps=taps)
+        backend = get_backend(self.backend)
+        taps = backend.make_taps(selection.observed)
+        run = BackendExecutor(analysis, backend, workers=self.workers).run(
+            sources, taps=taps
+        )
         timings["execution"] = time.perf_counter() - t0
         self._se_sizes = dict(run.se_sizes)  # feeds next cycle's CPU costs
 

@@ -56,6 +56,17 @@ class EtlSession:
     history: list[RunRecord] = field(default_factory=list)
     _current_trees: dict[str, PlanTree] | None = None
     _adopted_cards: dict | None = None
+    backend: str | None = None  # override the pipeline's execution backend
+    workers: int | None = None  # override the pipeline's scheduler width
+
+    def __post_init__(self) -> None:
+        # a session-level backend/worker choice wins over the pipeline's:
+        # the same designed pipeline can be re-run on a different engine
+        # (the paper's engine-swappability premise, Section 3.2.5)
+        if self.backend is not None:
+            self.pipeline.backend = self.backend
+        if self.workers is not None:
+            self.pipeline.workers = self.workers
 
     def run(self, sources: dict[str, Table]) -> RunRecord:
         """Execute one load with the current plans; maybe re-optimize."""

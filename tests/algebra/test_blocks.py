@@ -1,6 +1,5 @@
 """Unit tests for optimizable-block analysis (Section 3.2.1)."""
 
-import pytest
 
 from repro.algebra.blocks import analyze
 from repro.algebra.expressions import RejectSE, SubExpression

@@ -53,7 +53,7 @@ class TestPlanTree:
 
     def test_leaves_and_joins(self):
         tree = sample_tree()
-        assert [l.name for l in leaves(tree)] == ["A", "B", "C"]
+        assert [leaf.name for leaf in leaves(tree)] == ["A", "B", "C"]
         assert len(tree_joins(tree)) == 2
 
     def test_find_node(self):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.algebra.blocks import analyze
 from repro.baselines.explore import ExploreExploitSession
-from repro.engine.executor import Executor
 from repro.engine.ground_truth import ground_truth_cardinalities
 from repro.estimation.costmodel import PlanCostModel
 from repro.estimation.optimizer import PlanOptimizer

@@ -89,7 +89,6 @@ class TestIndependenceEstimator:
             analysis, profile_inputs(analysis, run.env)
         )
         truth = ground_truth_cardinalities(analysis, sources)
-        block = analysis.blocks[0]
         target = SE("DimCustomer", "Prospect")
         est = estimator.cardinality(target)
         actual = truth[target]

@@ -90,7 +90,7 @@ class TestCoverageScheduler:
         targets = set(coverable_ses(block))
         covered = set()
         for tree in schedule.trees:
-            assert {l.name for l in leaves(tree)} == set(block.inputs)
+            assert {leaf.name for leaf in leaves(tree)} == set(block.inputs)
             covered.update(internal_ses(tree))
         assert targets <= covered
 

@@ -1,6 +1,5 @@
 """Tests for the cost metrics (Section 5.4) and the independence bootstrap."""
 
-import math
 
 import pytest
 
@@ -10,7 +9,6 @@ from repro.algebra.operators import Join, Source, Target, Workflow
 from repro.algebra.schema import Catalog
 from repro.core.costs import INFINITE, CostModel
 from repro.core.statistics import Statistic
-from repro.engine.executor import Executor
 from repro.engine.ground_truth import ground_truth_cardinalities
 from repro.estimation.bootstrap import (
     SizeBootstrapper,
@@ -125,7 +123,6 @@ class TestBootstrap:
             {"A": 1000, "B": 400},
             {"A": {"k": 100}, "B": {"k": 50}},
         )
-        rej_b = RejectSE(SE("B"), "k", SE("A"))
         rjs = [se for se in sizes if isinstance(se, RejectJoinSE)]
         assert rjs  # side joins were estimated
         for rj in rjs:

@@ -1,6 +1,5 @@
 """Unit tests for the CSS catalog container."""
 
-import pytest
 
 from repro.algebra.expressions import SubExpression
 from repro.core.css import CSS, CssCatalog, trivial_css

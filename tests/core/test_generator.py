@@ -17,7 +17,7 @@ from repro.algebra.operators import (
     Workflow,
 )
 from repro.algebra.schema import Catalog
-from repro.core.generator import CssGenerator, GeneratorOptions, generate_css
+from repro.core.generator import GeneratorOptions, generate_css
 from repro.core.statistics import Statistic
 
 

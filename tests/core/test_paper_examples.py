@@ -16,7 +16,6 @@ from repro.algebra.operators import Join, Source, Target, Workflow
 from repro.algebra.schema import Catalog
 from repro.core.costs import CostModel
 from repro.core.generator import generate_css
-from repro.core.histogram import Histogram
 from repro.core.ilp import solve_ilp
 from repro.core.selection import build_problem
 from repro.core.statistics import Statistic

@@ -81,4 +81,4 @@ class TestConstrainedEdgeCases:
         for step in schedule.steps:
             for block in analysis.blocks:
                 tree = step.trees[block.name]
-                assert {l.name for l in leaves(tree)} == set(block.inputs)
+                assert {leaf.name for leaf in leaves(tree)} == set(block.inputs)

@@ -1,6 +1,5 @@
 """Tests for the selection problem, ILP (Section 5.2) and greedy (5.3)."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,94 @@
+"""Suite-wide cross-backend equivalence.
+
+The :class:`~repro.engine.backend.ExecutionBackend` contract is that every
+backend computes the *same workflow semantics* and surfaces the *same
+observation points* (the paper's Section 3.2.5 premise that statistics
+identification is engine-independent).  This pins it across all 30 suite
+workflows: the columnar reference, the vectorized kernels, the streaming
+executor, and the parallel block scheduler must produce identical targets,
+identical SE sizes, and identical observed statistics for the
+greedy-selected set.
+
+Target rows are compared under a canonical (sorted) attribute order: the
+streaming backend materializes targets from row dicts, so its column
+*order* may differ while the content is identical.
+"""
+
+import pytest
+
+from repro.algebra.blocks import analyze
+from repro.core.costs import CostModel
+from repro.core.generator import generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.selection import build_problem
+from repro.engine.backend import BackendExecutor, get_backend
+from repro.workloads import suite
+
+#: (backend, scheduler width) variants checked against the serial columnar
+#: reference -- covering the vectorized kernels, the per-tuple streaming
+#: engine, and the parallel scheduler on both materializing backends
+VARIANTS = [
+    ("vectorized", 1),
+    ("vectorized", 4),
+    ("streaming", 2),
+    ("columnar", 4),
+]
+
+SCALE, SEED = 0.06, 23
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Per-workflow (analysis, selection, sources, columnar run), cached."""
+    cache = {}
+
+    def get(case):
+        if case.number not in cache:
+            workflow = case.build()
+            analysis = analyze(workflow)
+            catalog = generate_css(analysis)
+            selection = solve_greedy(
+                build_problem(catalog, CostModel(workflow.catalog))
+            )
+            sources = case.tables(scale=SCALE, seed=SEED)
+            backend = get_backend("columnar")
+            run = BackendExecutor(analysis, backend).run(
+                sources, taps=backend.make_taps(selection.observed)
+            )
+            cache[case.number] = (analysis, selection, sources, run)
+        return cache[case.number]
+
+    return get
+
+
+@pytest.mark.parametrize(
+    "backend_name,workers", VARIANTS, ids=lambda v: str(v)
+)
+@pytest.mark.parametrize("case", suite(), ids=lambda c: f"wf{c.number:02d}")
+def test_backend_matches_columnar(case, backend_name, workers, reference):
+    analysis, selection, sources, ref = reference(case)
+    backend = get_backend(backend_name)
+    run = BackendExecutor(analysis, backend, workers=workers).run(
+        sources, taps=backend.make_taps(selection.observed)
+    )
+
+    # identical targets (canonical attribute order)
+    assert set(run.targets) == set(ref.targets)
+    for name, table in ref.targets.items():
+        other = run.targets[name]
+        attrs = sorted(table.attrs)
+        assert sorted(other.attrs) == attrs, (case.number, name)
+        assert sorted(other.rows(attrs)) == sorted(table.rows(attrs)), (
+            case.number,
+            name,
+        )
+
+    # identical observation-point sizes
+    assert run.se_sizes == ref.se_sizes, case.number
+
+    # identical observed statistics for the selected set
+    for stat in selection.observed:
+        assert run.observations.maybe(stat) == ref.observations.get(stat), (
+            case.number,
+            stat,
+        )

@@ -177,7 +177,9 @@ class TestBoundariesExecution:
     def test_aggregate_udf_boundary(self):
         cat = Catalog()
         cat.add_relation("T", {"a": 5})
-        dedupe = lambda rows: [dict(t) for t in sorted({tuple(r.items()) for r in rows})]
+        def dedupe(rows):
+            return [dict(t) for t in sorted({tuple(r.items()) for r in rows})]
+
         flow = AggregateUDF(Source(cat, "T"), "dedupe", dedupe)
         wf = Workflow("w", cat, [Target(flow, "out")])
         run = Executor(analyze(wf)).run({"T": Table({"a": [1, 1, 2]})})

@@ -1,0 +1,110 @@
+"""Unit tests for the block scheduler (waves, serial and parallel modes)."""
+
+import threading
+
+import pytest
+
+from repro.engine.scheduler import (
+    ParallelScheduler,
+    SchedulerError,
+    Task,
+    topological_waves,
+)
+
+
+def make_task(name, requires, provides, log, lock):
+    def fn():
+        with lock:
+            log.append(name)
+
+    return Task(name=name, provides=provides, requires=tuple(requires), fn=fn)
+
+
+def diamond(log, lock):
+    """a -> (b, c) -> d over environment names s, a, b, c, d."""
+    return [
+        make_task("a", ["s"], "a", log, lock),
+        make_task("b", ["a"], "b", log, lock),
+        make_task("c", ["a"], "c", log, lock),
+        make_task("d", ["b", "c"], "d", log, lock),
+    ]
+
+
+class TestTopologicalWaves:
+    def test_diamond_waves(self):
+        log, lock = [], threading.Lock()
+        waves = topological_waves(diamond(log, lock), available=["s"])
+        assert [[t.name for t in wave] for wave in waves] == [
+            ["a"], ["b", "c"], ["d"]
+        ]
+
+    def test_independent_tasks_share_a_wave(self):
+        log, lock = [], threading.Lock()
+        tasks = [
+            make_task("x", ["s"], "x", log, lock),
+            make_task("y", ["s"], "y", log, lock),
+        ]
+        assert len(topological_waves(tasks, available=["s"])) == 1
+
+    def test_missing_requirement_raises(self):
+        log, lock = [], threading.Lock()
+        tasks = [make_task("a", ["ghost"], "a", log, lock)]
+        with pytest.raises(SchedulerError, match="ghost"):
+            topological_waves(tasks)
+
+    def test_cycle_raises(self):
+        log, lock = [], threading.Lock()
+        tasks = [
+            make_task("a", ["b"], "a", log, lock),
+            make_task("b", ["a"], "b", log, lock),
+        ]
+        with pytest.raises(SchedulerError):
+            topological_waves(tasks)
+
+
+class TestParallelScheduler:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_runs_every_task_once_in_dependency_order(self, workers):
+        log, lock = [], threading.Lock()
+        ParallelScheduler(workers).execute(diamond(log, lock), available=["s"])
+        assert sorted(log) == ["a", "b", "c", "d"]
+        assert log[0] == "a" and log[-1] == "d"
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_deadlock_raises(self, workers):
+        log, lock = [], threading.Lock()
+        tasks = [make_task("a", ["ghost"], "a", log, lock)]
+        with pytest.raises(SchedulerError):
+            ParallelScheduler(workers).execute(tasks)
+
+    def test_worker_exceptions_propagate(self):
+        def boom():
+            raise ValueError("kernel failed")
+
+        tasks = [Task("a", "a", ("s",), boom)]
+        with pytest.raises(ValueError, match="kernel failed"):
+            ParallelScheduler(2).execute(tasks, available=["s"])
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelScheduler(0)
+
+    def test_independent_tasks_overlap_with_two_workers(self):
+        """Each task blocks until the *other* one has started: only a
+        scheduler that truly runs independent tasks concurrently finishes."""
+        started_x, started_y = threading.Event(), threading.Event()
+
+        def run_x():
+            started_x.set()
+            assert started_y.wait(timeout=10.0)
+
+        def run_y():
+            started_y.set()
+            assert started_x.wait(timeout=10.0)
+
+        tasks = [
+            Task("x", "x", ("s",), run_x),
+            Task("y", "y", ("s",), run_y),
+        ]
+        ParallelScheduler(2).execute(tasks, available=["s"])
+        assert started_x.is_set() and started_y.is_set()

@@ -60,6 +60,35 @@ class TestTable:
         assert t.distinct_count(("a",)) == 2
         assert t.distinct_count(("a", "b")) == 2
 
+    def test_init_copies_caller_columns(self):
+        """Regression: the constructor used to alias the caller's lists, so
+        mutating the source dict after construction corrupted the table."""
+        col = [1, 2, 3]
+        t = Table({"a": col})
+        col.append(4)
+        col[0] = 99
+        assert t.num_rows == 3
+        assert t.column("a") == [1, 2, 3]
+
+    def test_tables_from_same_dict_are_independent(self):
+        columns = {"a": [1, 2]}
+        t1 = Table(columns)
+        t2 = Table(columns)
+        t1.columns["a"][0] = 77
+        assert t2.column("a") == [1, 2]
+
+    def test_wrap_adopts_columns_without_copy(self):
+        """``wrap`` is the trusted fast path: fresh engine-built columns are
+        adopted as-is (no defensive copy, no validation loop)."""
+        col = [1, 2]
+        t = Table.wrap({"a": col})
+        assert t.column("a") is col
+        assert t.num_rows == 2 and t.attrs == ("a",)
+
+    def test_wrap_requires_a_column(self):
+        with pytest.raises(TableError):
+            Table.wrap({})
+
     def test_row_dicts(self):
         t = Table({"a": [1], "b": [2]})
         assert t.row_dicts() == [{"a": 1, "b": 2}]

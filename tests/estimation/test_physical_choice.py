@@ -155,3 +155,28 @@ class TestPhysicalExecution:
         # the planner actually mixed algorithms (otherwise the test is vacuous)
         algorithms = {j.algorithm for j in plan.joins}
         assert len(algorithms) >= 1
+
+
+class TestBackendCostFactors:
+    CARDS = {SE("A"): 10_000, SE("B"): 8_000, SE("A", "B"): 9_000}
+
+    def _plan_cost(self, backend):
+        model = PhysicalCostModel.for_backend(backend, self.CARDS)
+        tree = JoinNode(Leaf("A"), Leaf("B"), ("k",))
+        return PhysicalPlanner(model).plan(tree).total_cost
+
+    def test_vectorized_is_cheapest_streaming_dearest(self):
+        costs = {
+            b: self._plan_cost(b)
+            for b in ("columnar", "streaming", "vectorized")
+        }
+        assert costs["vectorized"] < costs["columnar"] < costs["streaming"]
+
+    def test_unknown_backend_names_the_known_ones(self):
+        with pytest.raises(KeyError, match="columnar"):
+            PhysicalCostModel.for_backend("bogus", {})
+
+    def test_overrides_win_over_presets(self):
+        model = PhysicalCostModel.for_backend("columnar", {}, sort_factor=9.0)
+        assert model.sort_factor == 9.0
+        assert model.hash_build_factor == 1.5

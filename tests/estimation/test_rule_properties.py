@@ -9,7 +9,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.histogram import Histogram
 from repro.engine.physical import hash_join
 from repro.engine.table import Table
 from repro.estimation.calculator import group_distinct, join_histograms
@@ -112,7 +111,9 @@ def test_s1_s2_against_filter(rows, threshold):
     from repro.engine.physical import apply_filter
 
     table = Table.from_rows(("a", "b"), rows)
-    predicate = lambda v: v <= threshold
+    def predicate(v):
+        return v <= threshold
+
     filtered = apply_filter(table, "a", predicate)
 
     # S1: cardinality from the raw histogram

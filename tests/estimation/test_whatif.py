@@ -64,7 +64,9 @@ class TestRankPlans:
         model_worst = Executor(analysis).run(
             sources, trees={block.name: ranking.worst.tree}
         )
-        cost = lambda run, tree: PlanCostModel(dict(run.se_sizes)).tree_cost(tree)
+        def cost(run, tree):
+            return PlanCostModel(dict(run.se_sizes)).tree_cost(tree)
+
         assert cost(model_best, ranking.best.tree) <= cost(
             model_worst, ranking.worst.tree
         )

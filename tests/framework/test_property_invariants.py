@@ -9,7 +9,6 @@ randomly generated hitting-set instances -- independent of any workflow:
 - the closure is monotone and idempotent.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -120,6 +120,30 @@ class TestExperimentsSlowFigures:
         assert "union-division" in out
 
 
+class TestRun:
+    @pytest.mark.parametrize("backend", ["columnar", "streaming", "vectorized"])
+    def test_run_on_each_backend(self, backend, capsys):
+        assert main(
+            ["run", "--number", "9", "--backend", backend,
+             "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"backend={backend}" in out
+        assert "target" in out
+        assert "timings:" in out
+
+    def test_run_with_parallel_workers(self, capsys):
+        assert main(
+            ["run", "--number", "25", "--backend", "vectorized",
+             "--workers", "4", "--scale", "0.05"]
+        ) == 0
+        assert "workers=4" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--number", "9", "--backend", "bogus"])
+
+
 class TestIdentifyBudget:
     def test_budget_schedules_executions(self, wf_json, capsys):
         assert main(["identify", wf_json, "--no-fk", "--budget", "8"]) == 0

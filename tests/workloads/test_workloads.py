@@ -1,7 +1,6 @@
 """Tests for data generation and the 30-workflow suite."""
 
 import random
-import statistics
 
 import pytest
 

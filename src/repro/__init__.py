@@ -56,12 +56,14 @@ from repro.engine.backend import (
     get_backend,
 )
 from repro.engine.executor import Executor, WorkflowRun, execute_workflow
+from repro.engine.faults import FaultPlan, FaultSpec
 from repro.engine.instrumentation import TapSet
-from repro.engine.scheduler import ParallelScheduler
+from repro.engine.scheduler import ParallelScheduler, RetryPolicy, RunFailure
 from repro.engine.table import Table
 from repro.estimation.estimator import CardinalityEstimator
 from repro.estimation.optimizer import PlanOptimizer, optimize_workflow
 from repro.framework.pipeline import PipelineReport, StatisticsPipeline
+from repro.framework.recovery import RunCheckpoint
 from repro.framework.session import EtlSession
 
 __version__ = "1.0.0"
@@ -71,11 +73,13 @@ __all__ = [
     "BackendExecutor", "Block", "BlockAnalysis",
     "build_problem", "CardinalityEstimator", "Catalog",
     "ConstrainedSchedule", "CostModel", "CSS", "CssCatalog", "EtlSession",
-    "execute_workflow", "ExecutionBackend", "Executor", "Filter",
+    "execute_workflow", "ExecutionBackend", "Executor", "FaultPlan",
+    "FaultSpec", "Filter",
     "generate_css", "get_backend", "ParallelScheduler",
     "GeneratorOptions", "Histogram", "Join", "Materialize",
     "optimize_workflow", "PipelineReport", "plan_constrained",
     "PlanOptimizer", "Predicate", "Project", "RejectJoinSE", "RejectSE",
+    "RetryPolicy", "RunCheckpoint", "RunFailure",
     "save_statistics", "SelectionResult", "SessionState", "load_statistics",
     "solve_greedy", "solve_ilp", "Source", "StatKind",
     "Statistic", "StatisticsPipeline", "StatisticsStore", "SubExpression",

@@ -28,12 +28,23 @@ class BaseProfile:
 
 
 def profile_inputs(
-    analysis: BlockAnalysis, env: dict[str, Table]
+    analysis: BlockAnalysis, env: dict[str, Table], strict: bool = True
 ) -> dict[str, BaseProfile]:
-    """Profile every block input's processed table."""
+    """Profile every block input's processed table.
+
+    With ``strict=False``, blocks whose inputs are missing from ``env``
+    are skipped instead of raising -- the degraded-statistics path
+    (:mod:`repro.framework.recovery`) profiles whatever a partially failed
+    run did manage to load.
+    """
     profiles: dict[str, BaseProfile] = {}
     for block in analysis.blocks:
-        tables = block_input_tables(block, env)
+        try:
+            tables = block_input_tables(block, env)
+        except KeyError:
+            if strict:
+                raise
+            continue
         for name, table in tables.items():
             attrs = block.inputs[name].out_attrs
             profiles[name] = BaseProfile(

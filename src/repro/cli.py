@@ -10,12 +10,23 @@ console script):
 - ``run --number N`` -- execute a suite workflow end to end on a chosen
   execution backend (``--backend columnar|streaming|vectorized``,
   ``--workers W`` for the parallel block scheduler) and print the
-  observe-and-optimize report;
+  observe-and-optimize report.  Resilience flags: ``--faults spec.json``
+  injects a deterministic chaos plan, ``--max-retries N`` and
+  ``--block-timeout S`` configure the scheduler's retry/deadline policy,
+  ``--resume checkpoint.json`` journals per-block progress to (and, if
+  the file exists, resumes from) a run checkpoint, ``--prior-stats
+  stats.json`` backfills a failed block's estimates from a previous
+  night's persisted statistics, and ``--save-stats stats.json`` persists
+  tonight's observations for exactly that purpose;
 - ``suite [--number N]`` -- describe the built-in 30-workflow benchmark;
 - ``experiments <data|fig9|fig10|fig11|fig12>`` -- regenerate a Section 7
   table/figure and print it;
 - ``export --number N --format json|xml`` -- dump a suite workflow as a
   document other tools (or the ``analyze``/``identify`` commands) consume.
+
+Operational errors -- an unknown workflow number, an unreadable or corrupt
+workflow/fault/checkpoint file, a bad backend name -- exit with a one-line
+message on stderr and status 2, never a traceback.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ import sys
 from pathlib import Path
 
 from repro.algebra.blocks import analyze
+from repro.algebra.operators import WorkflowError
 from repro.algebra.serialize import (
     workflow_from_json,
     workflow_from_xml,
@@ -35,16 +47,38 @@ from repro.core.costs import CostModel
 from repro.core.generator import GeneratorOptions, generate_css
 from repro.core.greedy import solve_greedy
 from repro.core.ilp import solve_ilp
+from repro.core.persistence import PersistenceError
 from repro.core.selection import build_problem
 from repro.engine.backend import available_backends
+from repro.engine.faults import FaultError
 from repro.workloads import case, suite
 
 
+class CliError(Exception):
+    """An operational error reported as one line on stderr, exit status 2."""
+
+
 def _load_workflow(path: str):
-    text = Path(path).read_text()
-    if path.endswith(".xml"):
-        return workflow_from_xml(text)
-    return workflow_from_json(text)
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise CliError(f"cannot read workflow file {path}: {exc}") from exc
+    try:
+        if path.endswith(".xml"):
+            return workflow_from_xml(text)
+        return workflow_from_json(text)
+    except (ValueError, KeyError, TypeError, SyntaxError, WorkflowError) as exc:
+        raise CliError(f"corrupt workflow file {path}: {exc}") from exc
+
+
+def _case(number: int):
+    try:
+        return case(number)
+    except KeyError as exc:
+        raise CliError(
+            f"unknown workflow number {number}; the suite has wf01..wf30 "
+            "(see `repro-etl suite`)"
+        ) from exc
 
 
 def _cmd_analyze(args) -> int:
@@ -107,9 +141,12 @@ def _cmd_identify(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.engine.faults import FaultPlan
+    from repro.engine.scheduler import RetryPolicy
     from repro.framework.pipeline import StatisticsPipeline
+    from repro.framework.recovery import RunCheckpoint
 
-    wfcase = case(args.number)
+    wfcase = _case(args.number)
     workflow = wfcase.build()
     sources = wfcase.tables(scale=args.scale, seed=args.seed)
     pipeline = StatisticsPipeline(
@@ -118,7 +155,38 @@ def _cmd_run(args) -> int:
         backend=args.backend,
         workers=args.workers,
     )
-    report = pipeline.run_once(sources)
+
+    faults = FaultPlan.from_file(args.faults) if args.faults else None
+    retry = None
+    if args.max_retries or args.block_timeout is not None or faults is not None:
+        retry = RetryPolicy(
+            max_retries=args.max_retries,
+            block_timeout=args.block_timeout,
+            seed=args.seed,
+        )
+    checkpoint = None
+    if args.resume:
+        checkpoint = RunCheckpoint.open(
+            args.resume, workflow=workflow.name, backend=args.backend
+        )
+        if checkpoint.completed:
+            print(
+                f"resuming from {args.resume}: "
+                f"{', '.join(sorted(checkpoint.completed))} already done"
+            )
+    prior = None
+    if args.prior_stats:
+        from repro.core.persistence import load_statistics
+
+        prior = load_statistics(args.prior_stats)
+
+    report = pipeline.run_once(
+        sources,
+        faults=faults,
+        retry=retry,
+        checkpoint=checkpoint,
+        prior_statistics=prior,
+    )
     total_in = sum(t.num_rows for t in sources.values())
     print(
         f"wf{wfcase.number:02d} {wfcase.name} on backend={args.backend} "
@@ -131,12 +199,24 @@ def _cmd_run(args) -> int:
         "timings: "
         + ", ".join(f"{k} {v * 1e3:.1f}ms" for k, v in report.timings.items())
     )
+    if args.save_stats:
+        from repro.core.persistence import save_statistics
+
+        save_statistics(report.run.observations, args.save_stats)
+        print(f"statistics saved to {args.save_stats}")
+    if report.failures:
+        print(
+            f"degraded run: {len(report.failures)} task(s) failed or were "
+            f"skipped; plan confidence: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(report.plan_confidence.items()))
+        )
+        return 1
     return 0
 
 
 def _cmd_suite(args) -> int:
     if args.number is not None:
-        wfcase = case(args.number)
+        wfcase = _case(args.number)
         workflow = wfcase.build()
         print(f"wf{wfcase.number:02d} {wfcase.name}: {wfcase.description}")
         print(workflow.describe())
@@ -182,7 +262,7 @@ def _cmd_experiments(args) -> int:
 
 
 def _cmd_export(args) -> int:
-    workflow = case(args.number).build()
+    workflow = _case(args.number).build()
     if args.format == "xml":
         print(workflow_to_xml(workflow))
     else:
@@ -238,6 +318,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--solver", choices=("ilp", "greedy"), default="greedy")
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC.JSON",
+        help="fault-injection plan for a deterministic chaos run",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retries per block for transient failures (exponential backoff)",
+    )
+    p.add_argument(
+        "--block-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline; a hung block counts as a transient failure",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT.JSON",
+        help="run-checkpoint file: progress is journaled here after every "
+        "block, and an existing file resumes the run (finished blocks are "
+        "restored, not re-executed)",
+    )
+    p.add_argument(
+        "--prior-stats",
+        default=None,
+        metavar="STATS.JSON",
+        help="previous run's persisted statistics, used to backfill "
+        "estimates for blocks that permanently fail",
+    )
+    p.add_argument(
+        "--save-stats",
+        default=None,
+        metavar="STATS.JSON",
+        help="persist tonight's observed statistics here (feed them back "
+        "via --prior-stats on a later run)",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("suite", help="describe the 30-workflow benchmark")
@@ -269,7 +390,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Console entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (CliError, FaultError, PersistenceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -9,16 +9,25 @@ JSON:
   distinct counts, exact histograms) keyed by their statistic identity;
 - plan trees (the chosen join order per block);
 - a :class:`SessionState` bundling both plus the adopted cardinalities the
-  drift detector compares against.
+  drift detector compares against;
+- :class:`~repro.engine.table.Table` payloads, so run checkpoints
+  (:mod:`repro.framework.recovery`) can restore a finished block's output.
 
 Histogram bucket keys may be arbitrary value tuples; they are stored as
 JSON arrays, so values must be JSON-representable (ints/strings — which is
 what the engine produces).
+
+Every top-level document carries a ``format_version`` and loaders validate
+shape before use: a corrupt or future-versioned file raises a clear
+:class:`PersistenceError` instead of a ``KeyError`` deep in a loop.
+Version-1 files (written before the field existed) still load.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,10 +40,68 @@ from repro.algebra.expressions import (
 from repro.algebra.plans import JoinNode, Leaf, PlanTree
 from repro.core.histogram import Histogram
 from repro.core.statistics import StatKind, Statistic, StatisticsStore
+from repro.engine.table import Table, TableError
+
+#: version written into every new document; loaders accept 1..FORMAT_VERSION
+FORMAT_VERSION = 2
 
 
 class PersistenceError(ValueError):
     """Raised for malformed persisted documents."""
+
+
+def validate_document(doc, kind: str) -> int:
+    """Shape- and version-check a loaded top-level document.
+
+    Returns the document's format version (1 for legacy files that predate
+    the field).  Raises :class:`PersistenceError` for non-object documents
+    and versions this build does not read.
+    """
+    if not isinstance(doc, dict):
+        raise PersistenceError(
+            f"corrupt {kind} document: expected a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+    version = doc.get("format_version", 1)
+    if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
+        raise PersistenceError(
+            f"{kind} document has unsupported format_version {version!r}; "
+            f"this build reads versions 1..{FORMAT_VERSION}"
+        )
+    return version
+
+
+def _load_json(path: str | Path, kind: str) -> dict:
+    """Read + parse + shape-check one persisted file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {kind} file {path}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid {kind} file {path}: {exc}") from exc
+    validate_document(doc, kind)
+    return doc
+
+
+def atomic_write_json(doc: dict, path: str | Path) -> None:
+    """Write ``doc`` to ``path`` via rename, so readers (and a resumed run)
+    never see a half-written checkpoint after a crash."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(doc, handle, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -120,35 +187,65 @@ def store_to_dict(store: StatisticsStore) -> dict:
             entry["value"] = value
         entries.append(entry)
     entries.sort(key=lambda e: json.dumps(e["stat"], sort_keys=True))
-    return {"statistics": entries}
+    return {"format_version": FORMAT_VERSION, "statistics": entries}
 
 
 def store_from_dict(doc: dict) -> StatisticsStore:
     """Inverse of :func:`store_to_dict`."""
+    validate_document(doc, "statistics")
     store = StatisticsStore()
-    for entry in doc.get("statistics", []):
-        stat = statistic_from_dict(entry["stat"])
-        if "histogram" in entry:
-            hdoc = entry["histogram"]
-            counts = {tuple(k): v for k, v in hdoc["buckets"]}
-            store.put(stat, Histogram(tuple(hdoc["attrs"]), counts))
-        else:
-            store.put(stat, entry["value"])
+    entries = doc.get("statistics", [])
+    if not isinstance(entries, list):
+        raise PersistenceError("corrupt statistics document: 'statistics' is not a list")
+    for entry in entries:
+        try:
+            stat = statistic_from_dict(entry["stat"])
+            if "histogram" in entry:
+                hdoc = entry["histogram"]
+                counts = {tuple(k): v for k, v in hdoc["buckets"]}
+                store.put(stat, Histogram(tuple(hdoc["attrs"]), counts))
+            else:
+                store.put(stat, entry["value"])
+        except PersistenceError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(
+                f"corrupt statistics entry {entry!r}: {exc}"
+            ) from exc
     return store
 
 
 def save_statistics(store: StatisticsStore, path: str | Path) -> None:
     """Write a statistics store to a JSON file."""
-    Path(path).write_text(json.dumps(store_to_dict(store), indent=1))
+    atomic_write_json(store_to_dict(store), path)
 
 
 def load_statistics(path: str | Path) -> StatisticsStore:
     """Read a statistics store from a JSON file."""
+    return store_from_dict(_load_json(path, "statistics"))
+
+
+# ---------------------------------------------------------------------------
+# tables (checkpoint payloads)
+# ---------------------------------------------------------------------------
+
+
+def table_to_dict(table: Table) -> dict:
+    """JSON-ready form of a columnar table (attribute order preserved)."""
+    return {
+        "attrs": list(table.attrs),
+        "columns": {a: list(table.column(a)) for a in table.attrs},
+    }
+
+
+def table_from_dict(doc: dict) -> Table:
+    """Inverse of :func:`table_to_dict`."""
     try:
-        doc = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as exc:
-        raise PersistenceError(f"invalid statistics file: {exc}") from exc
-    return store_from_dict(doc)
+        attrs = doc["attrs"]
+        columns = doc["columns"]
+        return Table.wrap({a: list(columns[a]) for a in attrs})
+    except (KeyError, TypeError, TableError) as exc:
+        raise PersistenceError(f"corrupt table document: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------
@@ -196,6 +293,7 @@ class SessionState:
 
     def to_dict(self) -> dict:
         return {
+            "format_version": FORMAT_VERSION,
             "runs_completed": self.runs_completed,
             "trees": {name: tree_to_dict(t) for name, t in self.trees.items()},
             "cardinalities": [
@@ -208,25 +306,30 @@ class SessionState:
 
     @classmethod
     def from_dict(cls, doc: dict) -> "SessionState":
-        return cls(
-            trees={
-                name: tree_from_dict(t)
-                for name, t in doc.get("trees", {}).items()
-            },
-            adopted_cardinalities={
-                se_from_dict(se_doc): value
-                for se_doc, value in doc.get("cardinalities", [])
-            },
-            runs_completed=doc.get("runs_completed", 0),
-        )
+        validate_document(doc, "session")
+        trees = doc.get("trees", {})
+        cards = doc.get("cardinalities", [])
+        if not isinstance(trees, dict) or not isinstance(cards, list):
+            raise PersistenceError(
+                "corrupt session document: 'trees' must be an object and "
+                "'cardinalities' a list"
+            )
+        try:
+            return cls(
+                trees={name: tree_from_dict(t) for name, t in trees.items()},
+                adopted_cardinalities={
+                    se_from_dict(se_doc): value for se_doc, value in cards
+                },
+                runs_completed=doc.get("runs_completed", 0),
+            )
+        except PersistenceError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"corrupt session document: {exc}") from exc
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+        atomic_write_json(self.to_dict(), path)
 
     @classmethod
     def load(cls, path: str | Path) -> "SessionState":
-        try:
-            doc = json.loads(Path(path).read_text())
-        except json.JSONDecodeError as exc:
-            raise PersistenceError(f"invalid session file: {exc}") from exc
-        return cls.from_dict(doc)
+        return cls.from_dict(_load_json(path, "session"))

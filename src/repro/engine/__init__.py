@@ -19,19 +19,36 @@ from repro.engine.backend import (
     register_backend,
 )
 from repro.engine.executor import ColumnarBackend, Executor, execute_workflow
+from repro.engine.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    PermanentFault,
+    TransientFault,
+)
 from repro.engine.ground_truth import ground_truth_cardinalities
 from repro.engine.instrumentation import InstrumentationError, TapSet
-from repro.engine.scheduler import ParallelScheduler, SchedulerError, topological_waves
+from repro.engine.scheduler import (
+    ParallelScheduler,
+    RetryPolicy,
+    RunFailure,
+    ScheduleResult,
+    SchedulerError,
+    classify_error,
+    topological_waves,
+)
 from repro.engine.streaming import StreamExecutor, StreamingBackend, StreamingTaps
 from repro.engine.table import Table, TableError
 from repro.engine.vectorized import VectorizedBackend, VectorizedKernels
 
 __all__ = [
-    "available_backends", "BackendExecutor", "ColumnarBackend",
-    "execute_workflow", "ExecutionBackend", "Executor", "get_backend",
+    "available_backends", "BackendExecutor", "classify_error",
+    "ColumnarBackend", "execute_workflow", "ExecutionBackend", "Executor",
+    "FaultInjector", "FaultPlan", "FaultSpec", "get_backend",
     "ground_truth_cardinalities", "InstrumentationError", "Kernels",
-    "ParallelScheduler", "register_backend", "RunContext", "SchedulerError",
+    "ParallelScheduler", "PermanentFault", "register_backend", "RetryPolicy",
+    "RunContext", "RunFailure", "ScheduleResult", "SchedulerError",
     "StreamExecutor", "StreamingBackend", "StreamingTaps", "Table",
-    "TableError", "TapSet", "topological_waves", "VectorizedBackend",
-    "VectorizedKernels", "WorkflowRun",
+    "TableError", "TapSet", "topological_waves", "TransientFault",
+    "VectorizedBackend", "VectorizedKernels", "WorkflowRun",
 ]

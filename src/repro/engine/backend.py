@@ -39,22 +39,45 @@ from repro.algebra.operators import Aggregate, AggregateUDF, Materialize, Target
 from repro.algebra.plans import PlanTree
 from repro.core.statistics import StatisticsStore
 from repro.engine import physical
-from repro.engine.scheduler import ParallelScheduler, SchedulerError, Task
+from repro.engine.scheduler import (
+    ParallelScheduler,
+    RetryPolicy,
+    RunFailure,
+    SchedulerError,
+    Task,
+)
 from repro.engine.table import Table, TableError
 
 
 @dataclass
 class WorkflowRun:
-    """Everything a single execution produced."""
+    """Everything a single execution produced.
+
+    A fault-tolerant run (one given a retry policy or a fault injector)
+    records failed and skipped tasks in ``failures`` instead of raising;
+    ``resumed`` names the blocks restored from a checkpoint rather than
+    executed.
+    """
 
     env: dict[str, Table] = field(default_factory=dict)
     targets: dict[str, Table] = field(default_factory=dict)
     observations: StatisticsStore = field(default_factory=StatisticsStore)
     se_sizes: dict[AnySE, int] = field(default_factory=dict)
     rejects: dict[RejectSE, Table] = field(default_factory=dict)
+    failures: dict[str, RunFailure] = field(default_factory=dict)
+    resumed: tuple[str, ...] = ()
 
     def target(self, name: str) -> Table:
         return self.targets[name]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def failed_blocks(self, analysis: "BlockAnalysis") -> list[str]:
+        """Names of optimizable blocks that failed or were skipped."""
+        block_names = {b.name for b in analysis.blocks}
+        return sorted(name for name in self.failures if name in block_names)
 
 
 class Kernels:
@@ -159,21 +182,53 @@ class BackendExecutor:
         sources: dict[str, Table],
         trees: dict[str, PlanTree] | None = None,
         taps=None,
+        *,
+        faults=None,
+        retry: RetryPolicy | None = None,
+        checkpoint=None,
     ) -> WorkflowRun:
         """Execute the workflow.
 
         ``trees`` maps block names to replacement join trees (defaults to
         each block's initial plan); ``taps`` is the instrumentation to fire
         (defaults to an empty tap set of the backend's flavour).
+
+        Resilience (all optional):
+
+        - ``faults`` -- a :class:`~repro.engine.faults.FaultPlan` or
+          :class:`~repro.engine.faults.FaultInjector`; matching faults fire
+          at every block attempt and source truncations are applied to the
+          source map before execution;
+        - ``retry`` -- a :class:`~repro.engine.scheduler.RetryPolicy`.
+          Whenever ``faults`` or ``retry`` is given the run is
+          *failure-capturing*: a permanently failed block lands in
+          ``WorkflowRun.failures`` (its dependents are skipped) and the
+          healthy rest of the DAG still executes and is observed;
+        - ``checkpoint`` -- a :class:`~repro.framework.recovery.RunCheckpoint`.
+          Blocks already recorded there are restored (output table,
+          SE sizes, statistics) instead of re-executed, and every block
+          that completes is persisted so a crashed run can resume.
         """
+        from repro.engine.faults import as_injector
+
         trees = trees or {}
         taps = taps if taps is not None else self.backend.make_taps(())
+        injector = as_injector(faults)
+        if injector is not None:
+            sources = injector.apply_sources(sources)
         self._check_sources(sources)
         run = WorkflowRun(env=dict(sources))
         ctx = RunContext(run=run, taps=taps, kernels=self.backend.make_kernels())
 
+        resumed: set[str] = set()
+        if checkpoint is not None:
+            resumed = checkpoint.restore(self.analysis, run)
+            run.resumed = tuple(sorted(resumed))
+
         tasks: list[Task] = []
         for block in self.analysis.blocks:
+            if block.name in resumed:
+                continue
             tree = trees.get(block.name, block.initial_tree)
             tasks.append(
                 Task(
@@ -182,7 +237,7 @@ class BackendExecutor:
                     requires=tuple(
                         sorted({inp.base_name for inp in block.inputs.values()})
                     ),
-                    fn=partial(self._run_block, block, tree, ctx),
+                    fn=partial(self._run_block, block, tree, ctx, checkpoint),
                 )
             )
         for boundary in self.analysis.boundaries:
@@ -194,23 +249,46 @@ class BackendExecutor:
                     fn=partial(self._run_boundary, boundary, ctx),
                 )
             )
+        if injector is not None:
+            tasks = injector.wrap_tasks(tasks)
+
+        policy = retry
+        if policy is None and injector is not None:
+            policy = RetryPolicy()  # capture failures; no retries by default
 
         try:
-            ParallelScheduler(self.workers).execute(tasks, available=set(run.env))
+            result = ParallelScheduler(self.workers).execute(
+                tasks, available=set(run.env), policy=policy
+            )
         except SchedulerError as exc:  # pragma: no cover - analysis emits a DAG
             raise TableError(
                 f"workflow execution deadlocked; block analysis produced "
                 f"a cyclic dependency ({exc})"
             ) from exc
 
-        run.observations = self.backend.collect(taps)
+        run.failures = dict(result.failures)
+        observations = self.backend.collect(taps)
+        if checkpoint is not None and checkpoint.statistics is not None:
+            merged = checkpoint.statistics.copy()
+            merged.merge(observations)
+            observations = merged
+        run.observations = observations
         return run
 
     # ------------------------------------------------------------------
     def _run_block(
-        self, block: Block, tree: PlanTree, ctx: RunContext
+        self, block: Block, tree: PlanTree, ctx: RunContext, checkpoint=None
     ) -> None:
-        ctx.run.env[block.output_name] = self.backend.execute_block(block, tree, ctx)
+        out = self.backend.execute_block(block, tree, ctx)
+        ctx.run.env[block.output_name] = out
+        if checkpoint is not None:
+            with ctx.lock:
+                checkpoint.record_block(
+                    block,
+                    out,
+                    dict(ctx.run.se_sizes),
+                    self.backend.collect(ctx.taps),
+                )
 
     def _run_boundary(self, boundary: BoundaryOp, ctx: RunContext) -> None:
         node = boundary.node

@@ -1,0 +1,341 @@
+"""Deterministic fault injection for chaos-testing the nightly run.
+
+The paper's Section 1 premise -- ETL sources are flat files and foreign
+DBMSs *outside the engine's control* -- is exactly the part of the system
+that fails in production: a source goes away mid-extract, a file arrives
+truncated, a remote join stalls.  To make every such failure mode testable
+(and the recovery machinery in :mod:`repro.engine.scheduler` and
+:mod:`repro.framework.recovery` provable), this module injects faults
+*deterministically* from a seeded plan:
+
+- :class:`FaultSpec` -- one fault: raise a transient or permanent error,
+  delay a block (to trip the scheduler's deadline), or truncate a source
+  table (the short-file case);
+- :class:`FaultPlan` -- a seeded collection of specs, JSON round-trippable
+  so chaos runs are reproducible from a ``--faults spec.json`` file;
+- :class:`FaultInjector` -- per-run stateful form: wraps scheduler tasks
+  so matching faults fire at block-attempt boundaries, and filters the
+  source map for truncations.  Attempt counting is per *task*, which is
+  what makes ``{"kind": "transient", "times": 2}`` mean "the first two
+  attempts fail, the third succeeds" -- the retry loop converges.
+
+Faults raised here self-classify through the ``transient`` attribute that
+:func:`repro.engine.scheduler.classify_error` duck-types on, so the
+injected errors travel the same triage path as real I/O failures.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.scheduler import Task
+from repro.engine.table import Table
+
+FAULT_KINDS = ("transient", "permanent", "delay", "truncate")
+
+
+class FaultError(ValueError):
+    """Raised for malformed fault plans (not by injected faults)."""
+
+
+class InjectedFault(RuntimeError):
+    """Base class of errors the injector raises inside a wrapped task."""
+
+    transient = False
+
+
+class TransientFault(InjectedFault):
+    """An injected error that a retry may outlive (network blip, lock)."""
+
+    transient = True
+
+
+class PermanentFault(InjectedFault):
+    """An injected error no retry heals (missing file, schema break)."""
+
+    transient = False
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault.
+
+    ``target`` matches a block name (``"B2"``), a source/environment name
+    (``"customers"``), or a glob over either (``"B*"``); a source-targeted
+    error fires in every block that consumes that source, modelling a
+    failed source load.  ``times`` bounds how many attempts (per task) the
+    fault fires on -- ``None`` means every attempt for ``permanent`` and
+    ``delay`` faults and exactly once for ``transient`` ones, so the
+    default transient fault is survivable with a single retry.
+    ``probability`` gates each firing on the plan's seeded RNG.
+    """
+
+    target: str
+    kind: str
+    times: int | None = None
+    probability: float = 1.0
+    delay: float = 0.0
+    keep: float | None = None  # truncate: fraction of rows kept
+    rows: int | None = None  # truncate: absolute rows kept (wins over keep)
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not self.target:
+            raise FaultError("a fault spec needs a target")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultError(f"probability must be in [0, 1], got {self.probability}")
+        if self.kind == "truncate" and self.keep is None and self.rows is None:
+            raise FaultError("a truncate fault needs 'keep' (fraction) or 'rows'")
+        if self.keep is not None and not 0.0 <= self.keep <= 1.0:
+            raise FaultError(f"keep must be in [0, 1], got {self.keep}")
+        if self.delay < 0:
+            raise FaultError(f"delay must be >= 0, got {self.delay}")
+
+    def matches(self, name: str) -> bool:
+        return fnmatchcase(name, self.target)
+
+    @property
+    def fire_limit(self) -> int | None:
+        """Attempts (per task) this fault fires on; ``None`` = unbounded."""
+        if self.times is not None:
+            return self.times
+        return 1 if self.kind == "transient" else None
+
+    def to_dict(self) -> dict:
+        doc: dict = {"target": self.target, "kind": self.kind}
+        if self.times is not None:
+            doc["times"] = self.times
+        if self.probability != 1.0:
+            doc["probability"] = self.probability
+        if self.delay:
+            doc["delay"] = self.delay
+        if self.keep is not None:
+            doc["keep"] = self.keep
+        if self.rows is not None:
+            doc["rows"] = self.rows
+        if self.message:
+            doc["message"] = self.message
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSpec":
+        if not isinstance(doc, dict):
+            raise FaultError(f"fault spec must be an object, got {doc!r}")
+        unknown = set(doc) - {
+            "target", "kind", "times", "probability", "delay",
+            "keep", "rows", "message",
+        }
+        if unknown:
+            raise FaultError(f"unknown fault spec field(s): {sorted(unknown)}")
+        try:
+            return cls(
+                target=doc["target"],
+                kind=doc["kind"],
+                times=doc.get("times"),
+                probability=doc.get("probability", 1.0),
+                delay=doc.get("delay", 0.0),
+                keep=doc.get("keep"),
+                rows=doc.get("rows"),
+                message=doc.get("message", ""),
+            )
+        except KeyError as exc:
+            raise FaultError(f"fault spec missing required field {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable set of faults for one chaos run."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def injector(self) -> "FaultInjector":
+        """Fresh per-run injector (attempt counters start at zero)."""
+        return FaultInjector(self)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "faults": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        if not isinstance(doc, dict):
+            raise FaultError(f"fault plan must be a JSON object, got {doc!r}")
+        faults = doc.get("faults", [])
+        if not isinstance(faults, list):
+            raise FaultError("'faults' must be a list of fault specs")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in faults),
+            seed=int(doc.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        try:
+            doc = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise FaultError(f"cannot read fault plan {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired, for run forensics."""
+
+    task: str
+    target: str
+    kind: str
+    attempt: int
+
+
+class FaultInjector:
+    """Per-run fault state: wraps tasks and filters sources.
+
+    Thread-safe: attempt counters and the seeded RNG sit behind a lock so
+    concurrently retrying blocks draw a deterministic *set* of outcomes
+    (the per-(spec, task) counters are independent of interleaving;
+    probabilistic draws use a per-(spec, task) RNG for the same reason).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._fired: Counter = Counter()  # (spec index, task name) -> firings
+        self._attempts: Counter = Counter()  # task name -> attempts seen
+        self._rngs: dict[tuple[int, str], random.Random] = {}
+        self.events: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def apply_sources(self, sources: dict[str, Table]) -> dict[str, Table]:
+        """Apply truncation faults: the flat file arrived short tonight."""
+        out = dict(sources)
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != "truncate":
+                continue
+            for name, table in sources.items():
+                if not spec.matches(name):
+                    continue
+                if spec.rows is not None:
+                    kept = spec.rows
+                else:
+                    kept = int(table.num_rows * spec.keep)
+                kept = max(0, min(kept, table.num_rows))
+                out[name] = table.take(range(kept))
+                with self._lock:
+                    self._fired[(index, name)] += 1
+                    self.events.append(
+                        FaultEvent(task=name, target=spec.target, kind="truncate",
+                                   attempt=1)
+                    )
+        return out
+
+    def wrap(self, task: Task) -> Task:
+        """A task that consults the plan at the start of every attempt."""
+        scopes = (task.name, *task.requires)
+
+        def fn() -> None:
+            self.on_attempt(task.name, scopes)
+            task.fn()
+
+        return Task(
+            name=task.name, provides=task.provides, requires=task.requires, fn=fn
+        )
+
+    def wrap_tasks(self, tasks: Sequence[Task]) -> list[Task]:
+        return [self.wrap(t) for t in tasks]
+
+    # ------------------------------------------------------------------
+    def on_attempt(self, task_name: str, scopes: Sequence[str]) -> None:
+        """Fire matching faults for one attempt of ``task_name``.
+
+        ``scopes`` are the names a fault may match: the task itself plus
+        its requirements, so a fault on source ``customers`` surfaces as a
+        load error inside every block that reads ``customers``.
+        """
+        pause = 0.0
+        raised: InjectedFault | None = None
+        with self._lock:
+            self._attempts[task_name] += 1
+            for index, spec in enumerate(self.plan.specs):
+                if spec.kind == "truncate":
+                    continue
+                scope = next((s for s in scopes if spec.matches(s)), None)
+                if scope is None:
+                    continue
+                key = (index, task_name)
+                limit = spec.fire_limit
+                if limit is not None and self._fired[key] >= limit:
+                    continue
+                if spec.probability < 1.0:
+                    rng = self._rngs.setdefault(
+                        key, random.Random(f"{self.plan.seed}:{index}:{task_name}")
+                    )
+                    if rng.random() >= spec.probability:
+                        continue
+                self._fired[key] += 1
+                self.events.append(
+                    FaultEvent(
+                        task=task_name,
+                        target=spec.target,
+                        kind=spec.kind,
+                        attempt=self._attempts[task_name],
+                    )
+                )
+                if spec.kind == "delay":
+                    pause += spec.delay
+                    continue
+                message = spec.message or (
+                    f"injected {spec.kind} fault on {scope!r} "
+                    f"(attempt {self._attempts[task_name]} of {task_name!r})"
+                )
+                exc_type = TransientFault if spec.kind == "transient" else PermanentFault
+                raised = exc_type(message)
+                break  # first raising fault wins; later specs keep their budget
+        if pause:
+            time.sleep(pause)
+        if raised is not None:
+            raise raised
+
+    def fired(self) -> int:
+        """Total number of fault firings so far."""
+        with self._lock:
+            return len(self.events)
+
+
+def as_injector(faults: "FaultPlan | FaultInjector | None") -> FaultInjector | None:
+    """Normalize the ``faults=`` argument executors accept."""
+    if faults is None or isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        return faults.injector()
+    raise FaultError(f"expected a FaultPlan or FaultInjector, got {faults!r}")
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "PermanentFault",
+    "TransientFault",
+    "as_injector",
+]

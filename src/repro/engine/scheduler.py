@@ -1,4 +1,4 @@
-"""Block scheduling over the analysis DAG.
+"""Block scheduling over the analysis DAG, with fault-tolerant execution.
 
 Block analysis (Section 3.2.1) cuts a workflow into optimizable blocks
 joined by boundary operators.  The resulting dependency structure is a DAG
@@ -10,26 +10,149 @@ blocks (different sources, different branches of a multi-target flow)
 execute concurrently on a thread pool, which is the seam later
 multi-process and distributed schedulers plug into.
 
-Two entry points:
+The paper's premise makes fault tolerance non-optional: ETL sources (flat
+files, foreign DBMSs) are outside the engine's control and fail mid-run in
+production.  A nightly observe-and-optimize cycle that aborts on the first
+block error loses every statistic already gathered.  The scheduler
+therefore supports an optional :class:`RetryPolicy`: transient errors are
+retried with exponential backoff and jitter, a per-attempt deadline turns
+hung blocks into timeouts, and a task that ultimately fails is recorded as
+a structured :class:`RunFailure` -- its dependents are skipped, every
+independent task still runs, and the caller receives a
+:class:`ScheduleResult` instead of a torn-down wave.
+
+Entry points:
 
 - :func:`topological_waves` -- a pure analysis of the task DAG into
   execution waves (every task in wave *i* depends only on waves ``< i``);
+- :func:`classify_error` -- transient-vs-permanent triage for worker
+  exceptions (duck-typed on a ``transient`` attribute, so the fault
+  harness and real I/O errors classify uniformly);
 - :class:`ParallelScheduler` -- executes a task list respecting the
   dependencies; ``max_workers <= 1`` degrades to the deterministic serial
   walk, ``max_workers > 1`` uses ``concurrent.futures`` with greedy
   dispatch (a task starts the moment its inputs exist, not when its wave
-  starts).
+  starts).  Without a policy, worker exceptions propagate unchanged.
 """
 
 from __future__ import annotations
 
+import random
+import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 
 class SchedulerError(RuntimeError):
     """Raised when the task graph cannot be executed (cycle / missing feed)."""
+
+
+class BlockTimeout(RuntimeError):
+    """An attempt exceeded the policy's per-block deadline."""
+
+    transient = True  # a hung source may answer on the next attempt
+
+
+#: exception types retried without an explicit ``transient`` marker --
+#: the classic flaky-source failure modes of Section 1's external DBMSs
+TRANSIENT_ERROR_TYPES = (
+    TimeoutError,
+    ConnectionError,
+    InterruptedError,
+    BrokenPipeError,
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` or ``"permanent"`` triage for a worker exception.
+
+    An exception may self-classify through a boolean ``transient``
+    attribute (the fault harness' :class:`~repro.engine.faults.TransientFault`
+    and :class:`~repro.engine.faults.PermanentFault` do); otherwise common
+    flaky-I/O types are transient and everything else -- bad data, bugs,
+    schema mismatches -- is permanent, because re-running deterministic
+    code over the same input cannot heal it.
+    """
+    marker = getattr(exc, "transient", None)
+    if isinstance(marker, bool):
+        return "transient" if marker else "permanent"
+    return "transient" if isinstance(exc, TRANSIENT_ERROR_TYPES) else "permanent"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler handles failing attempts.
+
+    ``max_retries`` counts *re*-tries: a task gets ``1 + max_retries``
+    attempts before its failure is recorded.  Backoff between attempts is
+    exponential (``base_delay * 2^n`` capped at ``max_delay``) with a
+    deterministic seeded jitter so concurrent retries of different blocks
+    do not stampede a recovering source in lockstep.  ``block_timeout``
+    bounds each attempt's wall time; a timed-out attempt counts as
+    transient (the worker thread is abandoned, so timed-out block
+    functions must be side-effect-safe, which ours are: a block publishes
+    its output only on success).
+    """
+
+    max_retries: int = 0
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    block_timeout: float | None = None
+    seed: int = 0
+    classify: Callable[[BaseException], str] = classify_error
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, retry_index: int, rng: random.Random) -> float:
+        """Delay before retry ``retry_index`` (0-based), jittered."""
+        delay = min(self.base_delay * (2.0**retry_index), self.max_delay)
+        return delay * (1.0 + self.jitter * rng.random())
+
+    def rng_for(self, task_name: str) -> random.Random:
+        """Per-task RNG: jitter is deterministic regardless of how the
+        scheduler interleaves concurrent tasks."""
+        return random.Random(f"{self.seed}:{task_name}")
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Structured record of one task that did not complete.
+
+    ``kind`` is ``"permanent"`` (non-retryable error), ``"transient"``
+    (retryable but the retry budget ran out), ``"timeout"`` (the final
+    attempt hit the deadline) or ``"skipped"`` (a requirement's producer
+    failed, listed in ``missing``).
+    """
+
+    task: str
+    kind: str
+    error: str
+    error_type: str
+    attempts: int
+    elapsed: float
+    missing: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.kind == "skipped":
+            return f"{self.task}: skipped (failed upstream: {', '.join(self.missing)})"
+        return (
+            f"{self.task}: {self.kind} after {self.attempts} attempt(s) "
+            f"[{self.error_type}] {self.error}"
+        )
+
+
+@dataclass
+class ScheduleResult:
+    """What a policy-governed execution produced."""
+
+    completed: list[str] = field(default_factory=list)
+    failures: dict[str, RunFailure] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
 
 @dataclass(frozen=True)
@@ -74,28 +197,140 @@ class ParallelScheduler:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
 
-    def execute(self, tasks: Sequence[Task], available: Iterable[str] = ()) -> None:
+    def execute(
+        self,
+        tasks: Sequence[Task],
+        available: Iterable[str] = (),
+        policy: RetryPolicy | None = None,
+    ) -> ScheduleResult:
         """Run every task exactly once, honouring ``requires``/``provides``.
 
         ``available`` seeds the set of already-existing names (the source
         tables).  Task functions perform their own output publication; the
         scheduler only tracks readiness.
+
+        Without a ``policy`` a worker exception propagates to the caller
+        unchanged (the historical contract).  With one, failing attempts
+        are retried per the policy and the final outcome is captured in
+        the returned :class:`ScheduleResult`; tasks whose requirements
+        were produced by a failed task are recorded as ``skipped`` and the
+        rest of the graph still executes.
         """
         if self.max_workers <= 1:
-            self._execute_serial(tasks, set(available))
-        else:
-            self._execute_parallel(tasks, set(available))
+            return self._execute_serial(tasks, set(available), policy)
+        return self._execute_parallel(tasks, set(available), policy)
 
     # ------------------------------------------------------------------
+    # attempt loop (shared by serial and parallel modes)
+    # ------------------------------------------------------------------
     @staticmethod
-    def _execute_serial(tasks: Sequence[Task], done: set[str]) -> None:
+    def _run_attempt(task: Task, policy: RetryPolicy) -> None:
+        """One attempt, bounded by the policy's deadline if it has one."""
+        if policy.block_timeout is None:
+            task.fn()
+            return
+        outcome: list[BaseException] = []
+        finished = threading.Event()
+
+        def runner() -> None:
+            try:
+                task.fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                outcome.append(exc)
+            finally:
+                finished.set()
+
+        worker = threading.Thread(
+            target=runner, name=f"attempt-{task.name}", daemon=True
+        )
+        worker.start()
+        if not finished.wait(policy.block_timeout):
+            raise BlockTimeout(
+                f"block {task.name!r} exceeded its "
+                f"{policy.block_timeout:g}s deadline"
+            )
+        if outcome:
+            raise outcome[0]
+
+    @classmethod
+    def _run_with_retries(cls, task: Task, policy: RetryPolicy) -> RunFailure | None:
+        """Attempt ``task`` until success or budget exhaustion."""
+        rng = policy.rng_for(task.name)
+        start = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                cls._run_attempt(task, policy)
+                return None
+            except Exception as exc:  # noqa: BLE001 - classified below
+                timed_out = isinstance(exc, BlockTimeout)
+                kind = "timeout" if timed_out else policy.classify(exc)
+                retryable = kind != "permanent"
+                if not retryable or attempts > policy.max_retries:
+                    return RunFailure(
+                        task=task.name,
+                        kind=kind,
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                        attempts=attempts,
+                        elapsed=time.perf_counter() - start,
+                    )
+                policy.sleep(policy.backoff(attempts - 1, rng))
+
+    @staticmethod
+    def _skip_dependents(
+        pending: list[Task],
+        failed_provides: dict[str, str],
+        result: ScheduleResult,
+    ) -> None:
+        """Remove (to fixpoint) every pending task downstream of a failure."""
+        changed = True
+        while changed:
+            changed = False
+            for task in list(pending):
+                bad = tuple(r for r in task.requires if r in failed_provides)
+                if bad:
+                    result.failures[task.name] = RunFailure(
+                        task=task.name,
+                        kind="skipped",
+                        error=(
+                            "not run: requirement(s) produced by failed "
+                            f"task(s) {sorted({failed_provides[r] for r in bad})}"
+                        ),
+                        error_type="SkippedTask",
+                        attempts=0,
+                        elapsed=0.0,
+                        missing=bad,
+                    )
+                    failed_provides[task.provides] = task.name
+                    pending.remove(task)
+                    changed = True
+
+    # ------------------------------------------------------------------
+    def _execute_serial(
+        self, tasks: Sequence[Task], done: set[str], policy: RetryPolicy | None
+    ) -> ScheduleResult:
+        result = ScheduleResult()
+        failed_provides: dict[str, str] = {}
         pending = list(tasks)
         while pending:
-            progressed = False
+            if policy is not None:
+                self._skip_dependents(pending, failed_provides, result)
+            progressed = not pending
             for task in list(pending):
                 if all(r in done for r in task.requires):
-                    task.fn()
-                    done.add(task.provides)
+                    if policy is None:
+                        task.fn()
+                        failure = None
+                    else:
+                        failure = self._run_with_retries(task, policy)
+                    if failure is None:
+                        done.add(task.provides)
+                        result.completed.append(task.name)
+                    else:
+                        result.failures[task.name] = failure
+                        failed_provides[task.provides] = task.name
                     pending.remove(task)
                     progressed = True
             if not progressed:
@@ -103,17 +338,31 @@ class ParallelScheduler:
                     "task graph deadlocked; remaining tasks: "
                     f"{[t.name for t in pending]}"
                 )
+        return result
 
-    def _execute_parallel(self, tasks: Sequence[Task], done: set[str]) -> None:
+    def _execute_parallel(
+        self, tasks: Sequence[Task], done: set[str], policy: RetryPolicy | None
+    ) -> ScheduleResult:
+        result = ScheduleResult()
+        failed_provides: dict[str, str] = {}
         pending = list(tasks)
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             running: dict[Future, Task] = {}
             while pending or running:
+                if policy is not None:
+                    self._skip_dependents(pending, failed_provides, result)
                 for task in list(pending):
                     if all(r in done for r in task.requires):
                         pending.remove(task)
-                        running[pool.submit(task.fn)] = task
+                        if policy is None:
+                            running[pool.submit(task.fn)] = task
+                        else:
+                            running[
+                                pool.submit(self._run_with_retries, task, policy)
+                            ] = task
                 if not running:
+                    if not pending:
+                        break
                     raise SchedulerError(
                         "task graph deadlocked; remaining tasks: "
                         f"{[t.name for t in pending]}"
@@ -121,5 +370,15 @@ class ParallelScheduler:
                 finished, _ = wait(running, return_when=FIRST_COMPLETED)
                 for future in finished:
                     task = running.pop(future)
-                    future.result()  # propagate worker exceptions
-                    done.add(task.provides)
+                    if policy is None:
+                        future.result()  # propagate worker exceptions
+                        failure = None
+                    else:
+                        failure = future.result()
+                    if failure is None:
+                        done.add(task.provides)
+                        result.completed.append(task.name)
+                    else:
+                        result.failures[task.name] = failure
+                        failed_provides[task.provides] = task.name
+        return result

@@ -58,6 +58,7 @@ class StreamingTaps:
         self._counters: dict[Statistic, int] = {}
         self._hists: dict[Statistic, dict] = {}
         self._distinct: dict[Statistic, set] = {}
+        self._streamed: set[AnySE] = set()
         for stat in stats:
             self.request(stat)
 
@@ -83,6 +84,17 @@ class StreamingTaps:
     def reject_requests(self) -> set[RejectSE]:
         return {se for se in self._by_se if isinstance(se, RejectSE)}
 
+    def mark_streamed(self, se: AnySE) -> None:
+        """Record that this observation point's stream actually ran.
+
+        Accumulators start at zero, so :meth:`collect` must distinguish
+        "streamed and saw nothing" from "the producing block never ran"
+        (a failed block's requested statistics have to read as *missing*,
+        not as zeros, or a degraded run would silently optimize from
+        wrong cardinalities instead of falling back).
+        """
+        self._streamed.add(se)
+
     def observe_row(self, se: AnySE, row: Row) -> None:
         """The per-tuple handler: O(#stats at this point) per row."""
         for stat in self._by_se.get(se, ()):
@@ -104,11 +116,14 @@ class StreamingTaps:
     def collect(self) -> StatisticsStore:
         store = StatisticsStore()
         for stat, count in self._counters.items():
-            store.put(stat, count)
+            if stat.se in self._streamed:
+                store.put(stat, count)
         for stat, buckets in self._hists.items():
-            store.put(stat, Histogram(stat.attrs, dict(buckets)))
+            if stat.se in self._streamed:
+                store.put(stat, Histogram(stat.attrs, dict(buckets)))
         for stat, values in self._distinct.items():
-            store.put(stat, len(values))
+            if stat.se in self._streamed:
+                store.put(stat, len(values))
         return store
 
     @property
@@ -186,6 +201,9 @@ class StreamingBackend(ExecutionBackend):
                 counts[se] += 1
                 taps.observe_row(se, row)
                 yield row
+            # marked only on exhaustion: a block that dies mid-stream must
+            # report the point as unobserved, not as a partial accumulation
+            taps.mark_streamed(se)
 
         def input_stream(name: str) -> Iterator[Row]:
             inp = block.inputs[name]
@@ -285,6 +303,7 @@ class StreamingBackend(ExecutionBackend):
         with ctx.lock:
             ctx.run.rejects[rej] = table
             ctx.run.se_sizes[rej] = table.num_rows
+        ctx.taps.mark_streamed(rej)  # the join completed; zero rejects is real
         for row in rows:
             ctx.taps.observe_row(rej, row)
 

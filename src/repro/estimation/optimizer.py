@@ -19,12 +19,20 @@ from repro.estimation.costmodel import PlanCostModel
 
 @dataclass
 class OptimizedPlan:
-    """The chosen tree for one block, with its estimated cost."""
+    """The chosen tree for one block, with its estimated cost.
+
+    ``confidence`` records the provenance of the cardinalities behind the
+    choice: ``"observed"`` (tonight's instrumented run), ``"prior"`` (a
+    previous run's persisted statistics), ``"independence"`` (the no-
+    statistics baseline) or ``"none"`` (unoptimizable this cycle -- the
+    tree is the block's fallback plan, costs are NaN).
+    """
 
     block: Block
     tree: PlanTree
     cost: float
     initial_cost: float
+    confidence: str = "observed"
 
     @property
     def improved(self) -> bool:
@@ -82,6 +90,42 @@ class PlanOptimizer:
             cost=cost,
             initial_cost=self.model.tree_cost(block.initial_tree),
         )
+
+    def optimize_or_fallback(
+        self,
+        block: Block,
+        fallback_tree: PlanTree | None = None,
+        confidence: str = "observed",
+    ) -> OptimizedPlan:
+        """Like per-block optimization, but degradation-safe.
+
+        When the cardinalities cannot cost the block (statistics lost to a
+        failed run and no fallback estimates either), the block keeps
+        ``fallback_tree`` (default: its initial plan) with NaN costs and
+        confidence ``"none"`` instead of raising.
+        """
+        tree = fallback_tree or block.initial_tree
+        try:
+            if block.pinned:
+                cost = self.model.tree_cost(block.initial_tree)
+                plan = OptimizedPlan(
+                    block=block,
+                    tree=block.initial_tree,
+                    cost=cost,
+                    initial_cost=cost,
+                )
+            else:
+                plan = self.optimize_block(block)
+            plan.confidence = confidence
+            return plan
+        except (KeyError, ValueError):
+            return OptimizedPlan(
+                block=block,
+                tree=tree,
+                cost=float("nan"),
+                initial_cost=float("nan"),
+                confidence="none",
+            )
 
     def optimize(self) -> dict[str, OptimizedPlan]:
         """Best plan per block; pinned blocks keep their initial plan."""

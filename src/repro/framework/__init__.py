@@ -1,10 +1,12 @@
 """The end-to-end Figure-2 pipeline and the repeated-execution session."""
 
 from repro.framework.pipeline import PipelineReport, StatisticsPipeline
+from repro.framework.recovery import RunCheckpoint, degraded_cardinalities
 from repro.framework.report import render_report, write_report
 from repro.framework.session import EtlSession, RunRecord
 
 __all__ = [
-    "EtlSession", "PipelineReport", "render_report", "RunRecord",
-    "StatisticsPipeline", "write_report",
+    "degraded_cardinalities", "EtlSession", "PipelineReport",
+    "render_report", "RunCheckpoint", "RunRecord", "StatisticsPipeline",
+    "write_report",
 ]

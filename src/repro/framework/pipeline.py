@@ -15,6 +15,7 @@ chosen plans plus everything observed along the way.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -27,8 +28,9 @@ from repro.core.generator import GeneratorOptions, generate_css
 from repro.core.greedy import solve_greedy
 from repro.core.ilp import solve_ilp
 from repro.core.selection import SelectionResult, build_problem
-from repro.core.statistics import Statistic
+from repro.core.statistics import Statistic, StatisticsStore
 from repro.engine.backend import BackendExecutor, WorkflowRun, get_backend
+from repro.engine.scheduler import RetryPolicy, RunFailure
 from repro.engine.table import Table
 from repro.estimation.estimator import CardinalityEstimator
 from repro.estimation.optimizer import OptimizedPlan, PlanOptimizer
@@ -36,7 +38,14 @@ from repro.estimation.optimizer import OptimizedPlan, PlanOptimizer
 
 @dataclass
 class PipelineReport:
-    """Everything one observe-and-optimize cycle produced."""
+    """Everything one observe-and-optimize cycle produced.
+
+    A degraded cycle (some block permanently failed) still reports plans
+    for every block: ``failures`` holds the structured per-task failure
+    records, ``degraded`` maps each affected block to the statistics
+    source that substituted for tonight's observations, and each plan's
+    ``confidence`` annotates how trustworthy its cost estimates are.
+    """
 
     analysis: BlockAnalysis
     catalog: CssCatalog
@@ -45,18 +54,36 @@ class PipelineReport:
     estimator: CardinalityEstimator
     plans: dict[str, OptimizedPlan]
     timings: dict[str, float] = field(default_factory=dict)
+    failures: dict[str, RunFailure] = field(default_factory=dict)
+    degraded: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     @property
     def chosen_trees(self) -> dict[str, PlanTree]:
         return {name: plan.tree for name, plan in self.plans.items()}
 
     @property
+    def plan_confidence(self) -> dict[str, str]:
+        return {name: plan.confidence for name, plan in self.plans.items()}
+
+    @property
     def total_estimated_cost(self) -> float:
-        return sum(p.cost for p in self.plans.values())
+        # unoptimizable (confidence "none") plans carry NaN costs; they are
+        # excluded so a degraded night still reports the healthy total
+        return sum(
+            p.cost for p in self.plans.values() if not math.isnan(p.cost)
+        )
 
     @property
     def total_initial_cost(self) -> float:
-        return sum(p.initial_cost for p in self.plans.values())
+        return sum(
+            p.initial_cost
+            for p in self.plans.values()
+            if not math.isnan(p.initial_cost)
+        )
 
     def describe(self) -> str:
         lines = [
@@ -68,7 +95,14 @@ class PipelineReport:
         ]
         for name, plan in self.plans.items():
             marker = "*" if plan.improved else " "
-            lines.append(f" {marker} {name}: {plan.tree!r} (cost {plan.cost:g})")
+            note = "" if plan.confidence == "observed" else f" [{plan.confidence}]"
+            lines.append(
+                f" {marker} {name}: {plan.tree!r} (cost {plan.cost:g}){note}"
+            )
+        if self.run.resumed:
+            lines.append(f"resumed from checkpoint: {', '.join(self.run.resumed)}")
+        for failure in self.failures.values():
+            lines.append(f" ! {failure.describe()}")
         return "\n".join(lines)
 
 
@@ -116,6 +150,11 @@ class StatisticsPipeline:
         self,
         sources: dict[str, Table],
         trees: dict[str, PlanTree] | None = None,
+        *,
+        faults=None,
+        retry: RetryPolicy | None = None,
+        checkpoint=None,
+        prior_statistics: StatisticsStore | None = None,
     ) -> PipelineReport:
         """One full observe-and-optimize cycle.
 
@@ -125,6 +164,18 @@ class StatisticsPipeline:
         whole identification stage (SEs -> CSSs -> selection) is re-derived
         against the overridden plans, exactly as the paper's cycle repeats
         from the currently-best plan.
+
+        Resilience knobs (all optional): ``faults`` injects a
+        :class:`~repro.engine.faults.FaultPlan`, ``retry`` sets the
+        scheduler's :class:`~repro.engine.scheduler.RetryPolicy`,
+        ``checkpoint`` journals/restores per-block progress
+        (:class:`~repro.framework.recovery.RunCheckpoint`), and
+        ``prior_statistics`` is a previous run's store used to backfill
+        the cardinalities of any block that permanently fails tonight
+        (falling back to the independence baseline, then to pinning the
+        block's current plan).  With a degraded run the cycle still
+        completes: healthy blocks get exactly the plans a fault-free run
+        would choose, affected blocks are annotated in ``degraded``.
         """
         timings: dict[str, float] = {}
 
@@ -147,16 +198,35 @@ class StatisticsPipeline:
         backend = get_backend(self.backend)
         taps = backend.make_taps(selection.observed)
         run = BackendExecutor(analysis, backend, workers=self.workers).run(
-            sources, taps=taps
+            sources, taps=taps, faults=faults, retry=retry, checkpoint=checkpoint
         )
         timings["execution"] = time.perf_counter() - t0
         self._se_sizes = dict(run.se_sizes)  # feeds next cycle's CPU costs
 
         t0 = time.perf_counter()
         estimator = CardinalityEstimator(catalog, run.observations)
-        plans = PlanOptimizer(
-            analysis, estimator.all_cardinalities(), metric=self.cost_metric
-        ).optimize()
+        degraded: dict[str, str] = {}
+        if run.failures:
+            from repro.framework.recovery import degraded_cardinalities
+
+            cards, degraded = degraded_cardinalities(
+                analysis, run, catalog, estimator, prior=prior_statistics
+            )
+            optimizer = PlanOptimizer(analysis, cards, metric=self.cost_metric)
+            plans = {
+                block.name: optimizer.optimize_or_fallback(
+                    block, confidence=degraded.get(block.name, "observed")
+                )
+                for block in analysis.blocks
+            }
+            # optimize_or_fallback may further downgrade a block to "none"
+            for name, plan in plans.items():
+                if plan.confidence != "observed":
+                    degraded[name] = plan.confidence
+        else:
+            plans = PlanOptimizer(
+                analysis, estimator.all_cardinalities(), metric=self.cost_metric
+            ).optimize()
         timings["optimization"] = time.perf_counter() - t0
 
         return PipelineReport(
@@ -167,4 +237,6 @@ class StatisticsPipeline:
             estimator=estimator,
             plans=plans,
             timings=timings,
+            failures=dict(run.failures),
+            degraded=degraded,
         )

@@ -1,0 +1,297 @@
+"""Run checkpoints and degraded-statistics fallback.
+
+Two halves of surviving a bad night:
+
+**Checkpoints.** A nightly observe-and-optimize cycle is long, and a crash
+near the end used to forfeit every block already executed.
+:class:`RunCheckpoint` persists, after each block completes, the block's
+output table, the run's SE sizes and the statistics gathered so far --
+atomically, so a killed process never leaves a half-written file.  A
+resumed :class:`~repro.engine.backend.BackendExecutor` run restores the
+recorded blocks (their outputs feed downstream blocks and boundaries
+directly) and re-executes only the unfinished remainder.
+
+**Degradation.** When a block *permanently* fails, its statistics are
+partial for the night.  Rather than abandoning optimization wholesale --
+the paper's premise is that stale or approximate statistics still beat
+none -- :func:`degraded_cardinalities` fills the failed blocks' SE
+cardinalities from, in order of trust:
+
+1. a prior run's persisted statistics (the data usually drifts slowly
+   between nightly loads);
+2. the textbook independence baseline
+   (:mod:`repro.baselines.independence`) computed from whatever inputs
+   did load tonight;
+3. nothing -- the block is reported unoptimizable and keeps its current
+   plan.
+
+The per-block provenance is returned alongside the filled cardinalities so
+:class:`~repro.framework.pipeline.PipelineReport` can annotate each plan
+with the confidence of the estimates behind it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.algebra.blocks import Block, BlockAnalysis
+from repro.algebra.expressions import AnySE
+from repro.core.css import CssCatalog
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    PersistenceError,
+    atomic_write_json,
+    se_from_dict,
+    se_to_dict,
+    store_from_dict,
+    store_to_dict,
+    table_from_dict,
+    table_to_dict,
+    validate_document,
+)
+from repro.core.statistics import StatisticsStore
+from repro.engine.backend import WorkflowRun
+from repro.engine.table import Table
+
+#: plan-confidence labels, strongest first
+CONFIDENCE_OBSERVED = "observed"
+CONFIDENCE_PRIOR = "prior"
+CONFIDENCE_INDEPENDENCE = "independence"
+CONFIDENCE_NONE = "none"
+
+
+class RunCheckpoint:
+    """Crash-consistent journal of one workflow run's completed blocks.
+
+    The file is rewritten (atomic rename) after every block completion --
+    the journal is cumulative, so the latest file is always a complete
+    description of everything finished so far.  Identity fields guard
+    against resuming the wrong run: a checkpoint written for another
+    workflow or execution backend refuses to load over this one.
+    """
+
+    def __init__(self, path: str | Path, workflow: str = "", backend: str = ""):
+        self.path = Path(path)
+        self.workflow = workflow
+        self.backend = backend
+        self.blocks: dict[str, dict] = {}  # block name -> record document
+        self.se_sizes: dict[AnySE, int] = {}
+        self.statistics: StatisticsStore = StatisticsStore()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "RunCheckpoint":
+        """Read an existing checkpoint; :class:`PersistenceError` if corrupt."""
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise PersistenceError(f"cannot read checkpoint {path}: {exc}") from exc
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"invalid checkpoint file {path}: {exc}") from exc
+        validate_document(doc, "checkpoint")
+        checkpoint = cls(
+            path, workflow=doc.get("workflow", ""), backend=doc.get("backend", "")
+        )
+        blocks = doc.get("blocks", {})
+        if not isinstance(blocks, dict):
+            raise PersistenceError("corrupt checkpoint: 'blocks' is not an object")
+        for name, record in blocks.items():
+            if not isinstance(record, dict) or "table" not in record:
+                raise PersistenceError(
+                    f"corrupt checkpoint: block record {name!r} has no table"
+                )
+            checkpoint.blocks[name] = record
+        try:
+            checkpoint.se_sizes = {
+                se_from_dict(se_doc): size
+                for se_doc, size in doc.get("se_sizes", [])
+            }
+        except (TypeError, ValueError, KeyError) as exc:
+            raise PersistenceError(f"corrupt checkpoint SE sizes: {exc}") from exc
+        checkpoint.statistics = store_from_dict(
+            doc.get("statistics", {"format_version": FORMAT_VERSION, "statistics": []})
+        )
+        return checkpoint
+
+    @classmethod
+    def open(
+        cls, path: str | Path, workflow: str = "", backend: str = ""
+    ) -> "RunCheckpoint":
+        """Resume from ``path`` if it exists, else start a fresh journal.
+
+        An existing file recorded for a different workflow or backend is a
+        hard error -- restoring another run's tables would corrupt this one.
+        """
+        path = Path(path)
+        if not path.exists():
+            return cls(path, workflow=workflow, backend=backend)
+        checkpoint = cls.load(path)
+        if workflow and checkpoint.workflow and checkpoint.workflow != workflow:
+            raise PersistenceError(
+                f"checkpoint {path} belongs to workflow "
+                f"{checkpoint.workflow!r}, not {workflow!r}"
+            )
+        if backend and checkpoint.backend and checkpoint.backend != backend:
+            raise PersistenceError(
+                f"checkpoint {path} was written by backend "
+                f"{checkpoint.backend!r}, not {backend!r}; statistics "
+                "observed by different backends are interchangeable but "
+                "resume must re-use the original backend's run"
+            )
+        checkpoint.workflow = checkpoint.workflow or workflow
+        checkpoint.backend = checkpoint.backend or backend
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> set[str]:
+        return set(self.blocks)
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "workflow": self.workflow,
+            "backend": self.backend,
+            "blocks": self.blocks,
+            "se_sizes": [
+                [se_to_dict(se), size]
+                for se, size in sorted(
+                    self.se_sizes.items(), key=lambda kv: repr(kv[0])
+                )
+            ],
+            "statistics": store_to_dict(self.statistics),
+        }
+
+    def save(self) -> None:
+        atomic_write_json(self.to_dict(), self.path)
+
+    # ------------------------------------------------------------------
+    # the two sides of the journal
+    # ------------------------------------------------------------------
+    def record_block(
+        self,
+        block: Block,
+        output: Table,
+        se_sizes: dict[AnySE, int],
+        statistics: StatisticsStore,
+    ) -> None:
+        """Journal one completed block (called under the run lock).
+
+        The journal is cumulative: sizes and statistics *merge* over what
+        is already recorded, so a resumed run (whose fresh taps only saw
+        tonight's re-executed blocks) never erases restored observations.
+        """
+        self.blocks[block.name] = {
+            "output_name": block.output_name,
+            "rows": output.num_rows,
+            "table": table_to_dict(output),
+        }
+        self.se_sizes.update(se_sizes)
+        self.statistics.merge(statistics)
+        self.save()
+
+    def restore(self, analysis: BlockAnalysis, run: WorkflowRun) -> set[str]:
+        """Seed a new run with the journaled blocks; returns their names."""
+        known = {b.name: b for b in analysis.blocks}
+        restored: set[str] = set()
+        for name, record in self.blocks.items():
+            block = known.get(name)
+            if block is None:
+                raise PersistenceError(
+                    f"checkpoint {self.path} records unknown block {name!r}; "
+                    "was it written for a different workflow?"
+                )
+            output_name = record.get("output_name", block.output_name)
+            run.env[output_name] = table_from_dict(record["table"])
+            restored.add(name)
+        run.se_sizes.update(self.se_sizes)
+        return restored
+
+
+# ---------------------------------------------------------------------------
+# degraded-statistics fallback
+# ---------------------------------------------------------------------------
+
+
+def degraded_cardinalities(
+    analysis: BlockAnalysis,
+    run: WorkflowRun,
+    catalog: CssCatalog,
+    estimator,
+    prior: StatisticsStore | None = None,
+) -> tuple[dict[AnySE, float], dict[str, str]]:
+    """Fill in cardinalities the failed run could not observe.
+
+    ``estimator`` is the :class:`~repro.estimation.estimator
+    .CardinalityEstimator` built over tonight's (partial) observations.
+    Returns ``(cardinalities, confidence)`` where ``confidence`` labels
+    each block whose estimates are not fully observed with the weakest
+    source used for it (``prior`` > ``independence`` > ``none``).
+    """
+    from repro.baselines.independence import IndependenceEstimator, profile_inputs
+    from repro.estimation.estimator import CardinalityEstimator, EstimationError
+
+    cards: dict[AnySE, float] = dict(estimator.all_cardinalities())
+    confidence: dict[str, str] = {}
+
+    prior_estimator = None
+    if prior is not None and len(prior):
+        try:
+            prior_estimator = CardinalityEstimator(catalog, prior)
+        except (EstimationError, KeyError, ValueError):
+            prior_estimator = None
+
+    independence = None
+
+    def independence_estimator() -> IndependenceEstimator | None:
+        nonlocal independence
+        if independence is None:
+            profiles = profile_inputs(analysis, run.env, strict=False)
+            independence = IndependenceEstimator(analysis, profiles)
+        return independence
+
+    for block in analysis.blocks:
+        needed = [se for se in block.join_ses() if se not in cards]
+        if not needed:
+            continue
+        sources_used: set[str] = set()
+        for se in needed:
+            value = None
+            if prior_estimator is not None:
+                try:
+                    value = prior_estimator.cardinality(se)
+                    sources_used.add(CONFIDENCE_PRIOR)
+                except (EstimationError, KeyError):
+                    value = None
+            if value is None:
+                try:
+                    value = independence_estimator().cardinality(se)
+                    sources_used.add(CONFIDENCE_INDEPENDENCE)
+                except KeyError:
+                    value = None
+            if value is None:
+                sources_used.add(CONFIDENCE_NONE)
+            else:
+                cards[se] = float(value)
+        if CONFIDENCE_NONE in sources_used:
+            confidence[block.name] = CONFIDENCE_NONE
+        elif CONFIDENCE_INDEPENDENCE in sources_used:
+            confidence[block.name] = CONFIDENCE_INDEPENDENCE
+        else:
+            confidence[block.name] = CONFIDENCE_PRIOR
+    return cards, confidence
+
+
+__all__ = [
+    "CONFIDENCE_INDEPENDENCE",
+    "CONFIDENCE_NONE",
+    "CONFIDENCE_OBSERVED",
+    "CONFIDENCE_PRIOR",
+    "RunCheckpoint",
+    "degraded_cardinalities",
+]

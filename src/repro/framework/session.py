@@ -18,6 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algebra.plans import PlanTree
+from repro.core.statistics import StatisticsStore
+from repro.engine.faults import FaultPlan
+from repro.engine.scheduler import RetryPolicy
 from repro.engine.table import Table
 from repro.estimation.costmodel import PlanCostModel
 from repro.framework.pipeline import PipelineReport, StatisticsPipeline
@@ -34,6 +37,10 @@ class RunRecord:
     reoptimized: bool
     drift: float = 0.0
 
+    @property
+    def degraded(self) -> bool:
+        return bool(self.report.failures)
+
 
 @dataclass
 class EtlSession:
@@ -48,6 +55,13 @@ class EtlSession:
       when some learned SE cardinality moved by more than that relative
       fraction since the previously adopted statistics -- cheap plan
       stability when the data is quiet.
+
+    Resilience: a ``retry`` policy and/or ``faults`` plan is forwarded to
+    every run.  The session keeps the last runs' observed statistics and
+    hands them to the pipeline as the prior-statistics fallback, so a
+    night whose block fails permanently is optimized from the freshest
+    statistics any earlier night produced; drift and plan adoption for
+    the failed statistics stand still until real observations return.
     """
 
     pipeline: StatisticsPipeline
@@ -58,6 +72,9 @@ class EtlSession:
     _adopted_cards: dict | None = None
     backend: str | None = None  # override the pipeline's execution backend
     workers: int | None = None  # override the pipeline's scheduler width
+    retry: RetryPolicy | None = None  # scheduler policy for every run
+    faults: "FaultPlan | None" = None  # chaos sessions (tests/benchmarks)
+    _prior_observations: StatisticsStore | None = None
 
     def __post_init__(self) -> None:
         # a session-level backend/worker choice wins over the pipeline's:
@@ -72,7 +89,14 @@ class EtlSession:
         """Execute one load with the current plans; maybe re-optimize."""
         index = len(self.history)
         executed = dict(self._current_trees or {})
-        report = self.pipeline.run_once(sources, trees=self._current_trees)
+        report = self.pipeline.run_once(
+            sources,
+            trees=self._current_trees,
+            retry=self.retry,
+            faults=self.faults,
+            prior_statistics=self._prior_observations,
+        )
+        self._retain_observations(report)
 
         cards = report.estimator.all_cardinalities()
         drift = self._measure_drift(cards)
@@ -85,7 +109,13 @@ class EtlSession:
             reoptimize = index % max(self.reoptimize_every, 1) == 0
         if reoptimize:
             self._current_trees = report.chosen_trees
-            self._adopted_cards = dict(cards)
+            if report.failures:
+                # a degraded run observed nothing for its failed blocks;
+                # keep the previously adopted statistics for those SEs so
+                # the drift detector compares against real observations
+                self._adopted_cards = {**(self._adopted_cards or {}), **cards}
+            else:
+                self._adopted_cards = dict(cards)
 
         actual = self._actual_cost(report, executed)
         record = RunRecord(
@@ -98,6 +128,21 @@ class EtlSession:
         )
         self.history.append(record)
         return record
+
+    def _retain_observations(self, report: PipelineReport) -> None:
+        """Keep the freshest observed statistics across runs.
+
+        Merging (rather than replacing) means a failed block's statistics
+        survive from the last night they were actually observed -- exactly
+        what the degraded-statistics fallback wants as its prior.
+        """
+        base = (
+            self._prior_observations.copy()
+            if self._prior_observations is not None
+            else StatisticsStore()
+        )
+        base.merge(report.run.observations)
+        self._prior_observations = base
 
     def _measure_drift(self, cards: dict) -> float:
         """Worst relative change vs the statistics behind the current plan."""

@@ -8,6 +8,7 @@ from repro.algebra.expressions import RejectJoinSE, RejectSE, SubExpression
 from repro.algebra.plans import JoinNode, Leaf
 from repro.core.histogram import Histogram
 from repro.core.persistence import (
+    FORMAT_VERSION,
     PersistenceError,
     SessionState,
     load_statistics,
@@ -18,10 +19,14 @@ from repro.core.persistence import (
     statistic_to_dict,
     store_from_dict,
     store_to_dict,
+    table_from_dict,
+    table_to_dict,
     tree_from_dict,
     tree_to_dict,
+    validate_document,
 )
 from repro.core.statistics import Statistic, StatisticsStore
+from repro.engine.table import Table
 
 SE = SubExpression.of
 
@@ -110,6 +115,79 @@ class TestStoreRoundTrip:
         save_statistics(self._store(), p1)
         save_statistics(self._store(), p2)
         assert p1.read_text() == p2.read_text()
+
+
+class TestFormatVersioning:
+    def test_saved_files_carry_the_current_version(self, tmp_path):
+        path = tmp_path / "stats.json"
+        save_statistics(StatisticsStore(), path)
+        assert json.loads(path.read_text())["format_version"] == FORMAT_VERSION
+
+    def test_legacy_file_without_version_still_loads(self, tmp_path):
+        """Files written before versioning read as version 1."""
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"statistics": []}))
+        assert len(load_statistics(path)) == 0
+
+    def test_future_version_rejected_with_clear_error(self, tmp_path):
+        path = tmp_path / "new.json"
+        path.write_text(json.dumps(
+            {"format_version": FORMAT_VERSION + 1, "statistics": []}
+        ))
+        with pytest.raises(PersistenceError, match="format_version"):
+            load_statistics(path)
+
+    @pytest.mark.parametrize("version", [0, -1, "two", None, 1.5])
+    def test_malformed_version_rejected(self, version):
+        with pytest.raises(PersistenceError, match="format_version"):
+            validate_document(
+                {"format_version": version, "statistics": []}, "statistics"
+            )
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(PersistenceError, match="JSON object"):
+            validate_document(["not", "an", "object"], "statistics")
+
+    def test_validate_returns_the_version(self):
+        assert validate_document({}, "x") == 1
+        assert validate_document({"format_version": FORMAT_VERSION}, "x") \
+            == FORMAT_VERSION
+
+    def test_corrupt_statistics_entry_is_a_persistence_error(self):
+        """Bad entries surface as PersistenceError, never a raw KeyError."""
+        with pytest.raises(PersistenceError):
+            store_from_dict({"statistics": [{"kind": "cardinality"}]})
+        with pytest.raises(PersistenceError):
+            store_from_dict({"statistics": ["not an object"]})
+
+    def test_session_state_future_version_rejected(self, tmp_path):
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps({"format_version": FORMAT_VERSION + 1}))
+        with pytest.raises(PersistenceError, match="format_version"):
+            SessionState.load(path)
+
+    def test_session_state_missing_file_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read"):
+            SessionState.load(tmp_path / "nope.json")
+
+
+class TestTableRoundTrip:
+    def test_round_trip_preserves_order_and_types(self):
+        table = Table({"b": [1, 2, 3], "a": ["x", "y", "z"]})
+        clone = table_from_dict(table_to_dict(table))
+        assert clone.attrs == table.attrs
+        assert list(clone.rows()) == list(table.rows())
+
+    def test_empty_table(self):
+        table = Table.empty(("a", "b"))
+        clone = table_from_dict(table_to_dict(table))
+        assert clone.num_rows == 0 and clone.attrs == ("a", "b")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(PersistenceError, match="corrupt table"):
+            table_from_dict({"attrs": ["a"], "columns": {}})
+        with pytest.raises(PersistenceError, match="corrupt table"):
+            table_from_dict({"columns": {"a": [1]}})
 
 
 class TestTreeRoundTrip:

@@ -91,6 +91,10 @@ class TestStreamingTaps:
         taps = StreamingTaps(stats)
         for v in (1, 1, 2):
             taps.observe_row(SE("T"), {"a": v})
+        # until the stream is marked complete the accumulators are
+        # provisional: a block that died mid-stream reports nothing
+        assert len(taps.collect()) == 0
+        taps.mark_streamed(SE("T"))
         store = taps.collect()
         assert store.get(stats[0]) == 3
         assert store.get(stats[1]).frequency(1) == 2

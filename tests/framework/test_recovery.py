@@ -1,0 +1,343 @@
+"""Resilience end-to-end: the ISSUE's three acceptance criteria.
+
+1. a permanent failure in one block of a multi-block workflow still yields
+   a complete :class:`PipelineReport` -- the failure is recorded, the
+   failed block's cardinalities fall back to prior-run statistics or the
+   independence baseline, and every *healthy* block gets exactly the plan
+   a fault-free run would choose;
+2. a transient failure plus a retry policy converges to a report
+   identical to the fault-free run;
+3. a run killed partway and resumed from its checkpoint re-executes only
+   the unfinished blocks and ends in the fault-free state.
+
+Backend coverage is parametrized (restrict with ``REPRO_CHAOS_BACKEND``
+for the CI matrix); every injection is seeded via ``REPRO_CHAOS_SEED``.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.algebra.blocks import analyze
+from repro.algebra.expressions import SubExpression
+from repro.core.histogram import Histogram
+from repro.core.persistence import PersistenceError
+from repro.core.statistics import Statistic, StatisticsStore
+from repro.engine.faults import FaultPlan, FaultSpec
+from repro.engine.scheduler import RetryPolicy
+from repro.engine.table import Table
+from repro.framework.pipeline import StatisticsPipeline
+from repro.framework.recovery import RunCheckpoint
+from repro.framework.session import EtlSession
+from repro.workloads import case
+
+pytestmark = pytest.mark.chaos
+
+SE = SubExpression.of
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1337"))
+_only = os.environ.get("REPRO_CHAOS_BACKEND", "")
+BACKENDS = [_only] if _only else ["columnar", "streaming", "vectorized"]
+
+#: wf25 is the multi-target workflow: B1 feeds B2 and B3, which are
+#: mutually independent -- failing B2 leaves B1 and B3 healthy.
+WORKFLOW = 25
+FAST = RetryPolicy(max_retries=2, base_delay=0.001, jitter=0.0,
+                   seed=CHAOS_SEED, sleep=lambda s: None)
+
+
+def _sources():
+    return case(WORKFLOW).tables(scale=0.05, seed=7)
+
+
+def _run_once(backend, **kwargs):
+    pipeline = StatisticsPipeline(case(WORKFLOW).build(), backend=backend)
+    return pipeline.run_once(_sources(), **kwargs)
+
+
+def _plan_key(report):
+    return {name: (repr(p.tree), p.cost) for name, p in report.plans.items()}
+
+
+def _failed_blocks(report):
+    """Failure records for blocks only (target/boundary tasks downstream
+    of a failed block are recorded as skipped too)."""
+    blocks = {b.name for b in report.analysis.blocks}
+    return {k for k in report.failures if k in blocks}
+
+
+def _permanent(target):
+    return FaultPlan((FaultSpec(target=target, kind="permanent"),),
+                     seed=CHAOS_SEED)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDegradedRun:
+    def test_permanent_failure_keeps_healthy_plans(self, backend):
+        baseline = _run_once(backend)
+        report = _run_once(backend, faults=_permanent("B2"), retry=FAST)
+
+        assert not report.ok
+        assert _failed_blocks(report) == {"B2"}
+        assert report.failures["B2"].kind == "permanent"
+        assert report.failures["B2"].attempts == 1  # permanent: no retries
+        # the dead block's target task is skipped, not silently dropped
+        assert all(f.kind == "skipped" for k, f in report.failures.items()
+                   if k != "B2")
+
+        # every block still gets a plan; the healthy ones exactly match
+        assert set(report.plans) == set(baseline.plans)
+        for name in ("B1", "B3"):
+            assert report.plans[name].confidence == "observed"
+            assert _plan_key(report)[name] == _plan_key(baseline)[name]
+
+        # the failed block was costed from the independence baseline
+        # (no prior run offered) over tonight's loaded inputs
+        assert report.degraded["B2"] == "independence"
+        assert report.plans["B2"].confidence == "independence"
+        assert not math.isnan(report.plans["B2"].cost)
+        assert "[independence]" in report.describe()
+        assert "B2" in report.describe()
+
+    def test_prior_statistics_reproduce_the_baseline_plan(self, backend):
+        baseline = _run_once(backend)
+        report = _run_once(
+            backend,
+            faults=_permanent("B2"),
+            retry=FAST,
+            prior_statistics=baseline.run.observations,
+        )
+        # last night's statistics cover everything, so even the failed
+        # block's plan matches what tonight would have chosen
+        assert report.degraded["B2"] == "prior"
+        assert report.plans["B2"].confidence == "prior"
+        assert _plan_key(report) == _plan_key(baseline)
+
+    def test_root_failure_degrades_dependents_to_none(self, backend):
+        report = _run_once(backend, faults=_permanent("B1"), retry=FAST)
+        assert _failed_blocks(report) == {"B1", "B2", "B3"}
+        assert report.failures["B2"].kind == "skipped"
+        assert report.failures["B3"].kind == "skipped"
+        # B1's own sources loaded -> independence; B2/B3 have no input at
+        # all tonight -> unoptimizable, pinned to their current plans
+        assert report.degraded["B1"] == "independence"
+        assert report.degraded["B2"] == "none"
+        assert report.plans["B2"].confidence == "none"
+        assert math.isnan(report.plans["B2"].cost)
+        # NaN plans are excluded from the totals instead of poisoning them
+        assert math.isfinite(report.total_estimated_cost)
+
+    def test_transient_failure_converges_to_fault_free_report(self, backend):
+        baseline = _run_once(backend)
+        faults = FaultPlan(
+            (FaultSpec(target="B1", kind="transient", times=2),),
+            seed=CHAOS_SEED,
+        )
+        report = _run_once(backend, faults=faults, retry=FAST)
+        assert report.ok
+        assert report.degraded == {}
+        assert all(p.confidence == "observed" for p in report.plans.values())
+        assert _plan_key(report) == _plan_key(baseline)
+        assert report.estimator.coverage() == baseline.estimator.coverage()
+
+    def test_transient_failure_without_retries_degrades(self, backend):
+        faults = FaultPlan(
+            (FaultSpec(target="B1", kind="transient"),), seed=CHAOS_SEED
+        )
+        report = _run_once(
+            backend, faults=faults,
+            retry=RetryPolicy(max_retries=0, sleep=lambda s: None),
+        )
+        assert report.failures["B1"].kind == "transient"
+
+
+def test_hung_block_times_out_and_degrades():
+    """A block that never answers becomes a structured timeout failure."""
+    faults = FaultPlan(
+        # the delay outlives the whole test: the abandoned attempt
+        # threads are daemons and never publish anything
+        (FaultSpec(target="B2", kind="delay", delay=30.0),),
+        seed=CHAOS_SEED,
+    )
+    report = _run_once(
+        "columnar",
+        faults=faults,
+        retry=RetryPolicy(max_retries=1, block_timeout=0.1, base_delay=0.001,
+                          jitter=0.0, sleep=lambda s: None),
+    )
+    failure = report.failures["B2"]
+    assert failure.kind == "timeout" and failure.attempts == 2
+    assert report.plans["B1"].confidence == "observed"
+
+
+def test_truncated_source_still_optimizes():
+    """A short source load is a data fault, not an execution failure."""
+    faults = FaultPlan(
+        (FaultSpec(target="Trade", kind="truncate", keep=0.5),),
+        seed=CHAOS_SEED,
+    )
+    report = _run_once("columnar", faults=faults)
+    assert report.ok  # the run completes; statistics describe the short load
+    baseline = _run_once("columnar")
+    assert (report.run.se_sizes[SE("Trade")]
+            < baseline.run.se_sizes[SE("Trade")])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCheckpointResume:
+    def test_resume_re_executes_only_unfinished_blocks(self, backend, tmp_path):
+        path = tmp_path / "ckpt.json"
+        name = case(WORKFLOW).build().name
+        baseline = _run_once(backend)
+
+        # night 1: B2 dies permanently; B1 and B3 complete and are journaled
+        ckpt = RunCheckpoint.open(path, workflow=name, backend=backend)
+        first = _run_once(backend, faults=_permanent("B2"), retry=FAST,
+                          checkpoint=ckpt)
+        assert _failed_blocks(first) == {"B2"}
+        assert ckpt.completed == {"B1", "B3"}
+        assert path.exists()
+
+        # night 2, "new process": reopen the journal and run fault-free
+        resumed = RunCheckpoint.open(path, workflow=name, backend=backend)
+        assert resumed.completed == {"B1", "B3"}
+        second = _run_once(backend, checkpoint=resumed)
+        assert second.ok
+        assert second.run.resumed == ("B1", "B3")
+        assert "resumed from checkpoint" in second.describe()
+        assert resumed.completed == {"B1", "B2", "B3"}
+
+        # the resumed run is indistinguishable from a fault-free night
+        assert _plan_key(second) == _plan_key(baseline)
+        assert second.estimator.coverage() == baseline.estimator.coverage()
+
+    def test_wrong_workflow_identity_rejected(self, backend, tmp_path):
+        path = tmp_path / "ckpt.json"
+        name = case(WORKFLOW).build().name
+        ckpt = RunCheckpoint.open(path, workflow=name, backend=backend)
+        _run_once(backend, faults=_permanent("B2"), retry=FAST,
+                  checkpoint=ckpt)
+        with pytest.raises(PersistenceError, match="workflow"):
+            RunCheckpoint.open(path, workflow="other_wf", backend=backend)
+        with pytest.raises(PersistenceError, match="backend"):
+            RunCheckpoint.open(path, workflow=name, backend="other-engine")
+
+
+def test_checkpoint_survives_process_loss_midway(tmp_path):
+    """Simulated crash: journal some blocks, forget everything in memory,
+    reload from disk alone and finish the run."""
+    path = tmp_path / "ckpt.json"
+    name = case(WORKFLOW).build().name
+    ckpt = RunCheckpoint.open(path, workflow=name, backend="columnar")
+    _run_once("columnar", faults=_permanent("B3"), retry=FAST,
+              checkpoint=ckpt)
+    del ckpt  # the "crash"
+
+    reloaded = RunCheckpoint.load(path)
+    assert reloaded.completed == {"B1", "B2"}
+    report = _run_once("columnar", checkpoint=reloaded)
+    assert report.ok and report.run.resumed == ("B1", "B2")
+
+
+def test_corrupt_checkpoint_rejected(tmp_path):
+    path = tmp_path / "ckpt.json"
+    path.write_text("{nope")
+    with pytest.raises(PersistenceError):
+        RunCheckpoint.load(path)
+    path.write_text('{"format_version": 2, "blocks": {"B1": {}}}')
+    with pytest.raises(PersistenceError, match="table"):
+        RunCheckpoint.load(path)
+
+
+def test_checkpoint_for_another_workflow_fails_restore(tmp_path):
+    """A checkpoint whose blocks the analysis does not know is refused."""
+    path = tmp_path / "ckpt.json"
+    ckpt = RunCheckpoint.open(path)  # no identity recorded
+    _run_once("columnar", faults=_permanent("B3"), retry=FAST,
+              checkpoint=ckpt)
+    other = StatisticsPipeline(case(9).build())
+    with pytest.raises(PersistenceError, match="unknown block"):
+        other.run_once(case(9).tables(scale=0.05, seed=7),
+                       checkpoint=RunCheckpoint.load(path))
+
+
+def test_checkpoint_round_trip_with_tuple_keyed_histograms(tmp_path):
+    """The journal persists full observed stores -- including histograms
+    whose buckets are keyed by attribute-value tuples."""
+    hist_stat = Statistic.hist(SE("A"), "x", "y")
+    store = StatisticsStore()
+    store.put(Statistic.card(SE("A", "B")), 42)
+    store.put(hist_stat, Histogram(("x", "y"), {(1, 2): 3, (4, "five"): 6}))
+
+    block = analyze(case(9).build()).blocks[0]
+    output = Table({"a": [1, 2, 3], "b": ["x", "y", "z"]})
+    path = tmp_path / "ckpt.json"
+    ckpt = RunCheckpoint(path, workflow="w", backend="columnar")
+    ckpt.record_block(block, output, {SE("A"): 10, SE("A", "B"): 42}, store)
+
+    loaded = RunCheckpoint.load(path)
+    assert loaded.completed == {block.name}
+    assert loaded.se_sizes == {SE("A"): 10, SE("A", "B"): 42}
+    assert loaded.statistics.get(Statistic.card(SE("A", "B"))) == 42
+    assert loaded.statistics.get(hist_stat) == store.get(hist_stat)
+    record = loaded.blocks[block.name]
+    assert record["rows"] == 3
+
+    # journalling more merges; it never erases what is already recorded
+    more = StatisticsStore()
+    more.put(Statistic.card(SE("A")), 10)
+    ckpt.record_block(block, output, {SE("B"): 5}, more)
+    merged = RunCheckpoint.load(path)
+    assert merged.statistics.get(hist_stat) == store.get(hist_stat)
+    assert merged.statistics.get(Statistic.card(SE("A"))) == 10
+    assert merged.se_sizes[SE("B")] == 5
+
+
+class TestSessionResilience:
+    """Drift detection and plan adoption across degraded nights."""
+
+    def test_degraded_night_falls_back_to_prior_and_recovers(self):
+        sources = _sources()
+        session = EtlSession(
+            StatisticsPipeline(case(WORKFLOW).build()),
+            drift_threshold=0.05,
+            retry=FAST,
+        )
+        first = session.run(sources)  # healthy night: adopt plans
+        assert not first.report.failures
+        adopted = {k: repr(v) for k, v in session.current_trees.items()}
+
+        # night 2: B2 permanently fails; the session hands the pipeline
+        # night 1's statistics, so the failed block is optimized from them
+        session.faults = _permanent("B2")
+        second = session.run(sources)
+        assert second.degraded
+        assert second.report.degraded["B2"] == "prior"
+        assert second.report.plans["B2"].confidence == "prior"
+        # same data + prior fallback: nothing drifted, plans stand still
+        assert not second.reoptimized
+        assert {k: repr(v) for k, v in session.current_trees.items()} == adopted
+
+        # night 3: the fault clears; real observations return, still stable
+        session.faults = None
+        third = session.run(sources)
+        assert not third.degraded
+        assert third.drift == pytest.approx(0.0, abs=1e-9)
+        assert {k: repr(v) for k, v in session.current_trees.items()} == adopted
+
+    def test_partial_statistics_still_trigger_drift_on_real_change(self):
+        """Re-optimization fires when the *observed* blocks drift, even
+        while a failed block's statistics are frozen at the prior run."""
+        session = EtlSession(
+            StatisticsPipeline(case(WORKFLOW).build()),
+            drift_threshold=0.05,
+            retry=FAST,
+        )
+        session.run(_sources())
+        session.faults = _permanent("B2")
+        grown = case(WORKFLOW).tables(scale=0.15, seed=7)  # 3x the data
+        record = session.run(grown)
+        assert record.degraded
+        assert record.drift > 0.05
+        assert record.reoptimized

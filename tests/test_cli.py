@@ -144,6 +144,123 @@ class TestRun:
             main(["run", "--number", "9", "--backend", "bogus"])
 
 
+class TestErrorPaths:
+    """Operator mistakes get one line on stderr and a nonzero exit --
+    never a traceback."""
+
+    def _assert_one_line_error(self, capsys, *needles):
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+        for needle in needles:
+            assert needle in captured.err
+
+    def test_unknown_workflow_number(self, capsys):
+        assert main(["run", "--number", "99"]) == 2
+        self._assert_one_line_error(capsys, "99", "wf01")
+
+    def test_unknown_workflow_number_in_suite(self, capsys):
+        assert main(["suite", "--number", "0"]) == 2
+        self._assert_one_line_error(capsys)
+
+    def test_missing_workflow_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "ghost.json")]) == 2
+        self._assert_one_line_error(capsys, "cannot read")
+
+    def test_corrupt_workflow_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{this is not json")
+        assert main(["analyze", str(path)]) == 2
+        self._assert_one_line_error(capsys, "corrupt")
+
+    def test_corrupt_fault_plan(self, tmp_path, capsys):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"faults": [{"target": "B1",
+                                                "kind": "explode"}]}))
+        assert main(["run", "--number", "9", "--faults", str(path)]) == 2
+        self._assert_one_line_error(capsys, "kind")
+
+    def test_missing_fault_plan_file(self, tmp_path, capsys):
+        assert main(["run", "--number", "9",
+                     "--faults", str(tmp_path / "ghost.json")]) == 2
+        self._assert_one_line_error(capsys, "cannot read")
+
+    def test_corrupt_checkpoint(self, tmp_path, capsys):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{nope")
+        assert main(["run", "--number", "9", "--scale", "0.05",
+                     "--resume", str(path)]) == 2
+        self._assert_one_line_error(capsys, "checkpoint")
+
+
+class TestRunResilience:
+    def _fault_file(self, tmp_path, specs):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"seed": 1337, "faults": specs}))
+        return str(path)
+
+    def test_transient_fault_retried_to_clean_exit(self, tmp_path, capsys):
+        faults = self._fault_file(
+            tmp_path, [{"target": "B1", "kind": "transient"}]
+        )
+        assert main(["run", "--number", "9", "--scale", "0.05",
+                     "--faults", faults, "--max-retries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" not in out
+
+    def test_permanent_fault_reports_degraded_and_exits_1(self, tmp_path,
+                                                          capsys):
+        faults = self._fault_file(
+            tmp_path, [{"target": "B2", "kind": "permanent"}]
+        )
+        assert main(["run", "--number", "25", "--scale", "0.05",
+                     "--faults", faults]) == 1
+        out = capsys.readouterr().out
+        assert "degraded run" in out
+        assert "plan confidence" in out
+        assert "B2" in out
+
+    def test_block_timeout_flag(self, tmp_path, capsys):
+        faults = self._fault_file(
+            tmp_path, [{"target": "B1", "kind": "delay", "delay": 30.0}]
+        )
+        assert main(["run", "--number", "9", "--scale", "0.05",
+                     "--faults", faults, "--block-timeout", "0.1"]) == 1
+        assert "timeout" in capsys.readouterr().out
+
+    def test_resume_skips_finished_blocks(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt.json")
+        faults = self._fault_file(
+            tmp_path, [{"target": "B3", "kind": "permanent"}]
+        )
+        # night 1: B3 dies; the surviving blocks are journaled
+        assert main(["run", "--number", "25", "--scale", "0.05",
+                     "--faults", faults, "--resume", ckpt]) == 1
+        capsys.readouterr()
+        # night 2: clean re-run resumes instead of re-executing B1/B2
+        assert main(["run", "--number", "25", "--scale", "0.05",
+                     "--resume", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "B1" in out and "B2" in out
+        assert "resumed from checkpoint" in out
+
+    def test_prior_stats_backfill_failed_block(self, tmp_path, capsys):
+        stats = str(tmp_path / "prior.json")
+        # healthy night persists its statistics...
+        assert main(["run", "--number", "25", "--scale", "0.05",
+                     "--save-stats", stats]) == 0
+        capsys.readouterr()
+        # ...which backfill the failed block the next night
+        faults = self._fault_file(
+            tmp_path, [{"target": "B2", "kind": "permanent"}]
+        )
+        assert main(["run", "--number", "25", "--scale", "0.05",
+                     "--faults", faults, "--prior-stats", stats]) == 1
+        assert "B2=prior" in capsys.readouterr().out
+
+
 class TestIdentifyBudget:
     def test_budget_schedules_executions(self, wf_json, capsys):
         assert main(["identify", wf_json, "--no-fk", "--budget", "8"]) == 0

@@ -39,6 +39,12 @@ from repro.algebra.operators import (
     Workflow,
 )
 from repro.algebra.schema import Catalog
+from repro.catalog import (
+    StatisticsCatalog,
+    WorkflowSigner,
+    plan_fleet,
+    reconcile_run,
+)
 from repro.core.costs import CostModel
 from repro.core.css import CSS, CssCatalog
 from repro.core.generator import GeneratorOptions, generate_css
@@ -78,11 +84,13 @@ __all__ = [
     "generate_css", "get_backend", "ParallelScheduler",
     "GeneratorOptions", "Histogram", "Join", "Materialize",
     "optimize_workflow", "PipelineReport", "plan_constrained",
-    "PlanOptimizer", "Predicate", "Project", "RejectJoinSE", "RejectSE",
+    "plan_fleet", "PlanOptimizer", "Predicate", "Project",
+    "reconcile_run", "RejectJoinSE", "RejectSE",
     "RetryPolicy", "RunCheckpoint", "RunFailure",
     "save_statistics", "SelectionResult", "SessionState", "load_statistics",
     "solve_greedy", "solve_ilp", "Source", "StatKind",
-    "Statistic", "StatisticsPipeline", "StatisticsStore", "SubExpression",
+    "Statistic", "StatisticsCatalog", "StatisticsPipeline",
+    "StatisticsStore", "SubExpression",
     "Table", "TapSet", "Target", "Transform", "UdfSpec", "Workflow",
-    "WorkflowRun",
+    "WorkflowRun", "WorkflowSigner",
 ]

@@ -125,8 +125,12 @@ def workflow_to_dict(workflow: Workflow) -> dict:
 
 
 def workflow_to_json(workflow: Workflow, indent: int = 2) -> str:
-    """Serialize a workflow (catalog + DAG) to a JSON document."""
-    return json.dumps(workflow_to_dict(workflow), indent=indent)
+    """Serialize a workflow (catalog + DAG) to a JSON document.
+
+    Keys are sorted so the same workflow always renders byte-identical
+    output -- exports are diffable and safe to keep under version control.
+    """
+    return json.dumps(workflow_to_dict(workflow), indent=indent, sort_keys=True)
 
 
 def workflow_to_xml(workflow: Workflow) -> str:

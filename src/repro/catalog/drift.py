@@ -1,0 +1,177 @@
+"""Drift detection: keep the catalog honest against tonight's run.
+
+The catalog's value rests on a bet — that statistics observed on an
+earlier night still describe tonight's data.  Following the adaptive
+feedback loop of Adaptive Cardinality Estimation (arXiv:1711.08330), every
+completed run closes the loop: the engine records the true size of every
+plan point it materializes (``WorkflowRun.se_sizes``), whether or not a
+tap was requested there, so each run yields a free ground-truth sample to
+compare catalog predictions against.
+
+:func:`reconcile_run` does three things, in order:
+
+1. **refresh** — statistics actually tapped tonight overwrite their
+   catalog entries (fresh observation beats any cached value), and the
+   prediction error of the *old* entry is folded into its quality score;
+2. **drift scan** — for every SE the run materialized, the catalog's
+   cardinality prediction is compared with the true size; a relative
+   error above ``threshold`` marks the SE as drifted.  Its cardinality
+   entry is refreshed in place (the true size *is* a valid observation),
+   while the histogram/distinct entries riding on the same SE are marked
+   **stale** — the run never materialized their buckets, so they must be
+   re-observed, and the stale flag is precisely what removes them from
+   the next run's zero-cost offer;
+3. **admission** — tapped statistics new to the catalog are inserted with
+   full provenance.
+
+Only the affected entries are touched: an injected 10× shift on one
+source invalidates that source's statistics and the joins it feeds, and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.signatures import SignatureError, WorkflowSigner
+from repro.catalog.store import StatisticsCatalog
+from repro.core.statistics import Statistic, StatisticsStore
+
+#: relative cardinality error above which an entry counts as drifted
+DEFAULT_DRIFT_THRESHOLD = 0.5
+
+
+@dataclass
+class DriftReport:
+    """What one reconciliation pass did to the catalog."""
+
+    added: list[str] = field(default_factory=list)  # entry reprs
+    refreshed: list[str] = field(default_factory=list)
+    drifted: list[str] = field(default_factory=list)  # SE reprs that moved
+    stale_marked: int = 0
+    max_rel_error: float = 0.0
+
+    @property
+    def touched(self) -> int:
+        return len(self.added) + len(self.refreshed)
+
+    def describe(self) -> str:
+        parts = [
+            f"catalog reconcile: +{len(self.added)} new, "
+            f"{len(self.refreshed)} refreshed"
+        ]
+        if self.drifted:
+            parts.append(
+                f"{len(self.drifted)} SE(s) drifted "
+                f"(worst rel. error {self.max_rel_error:.2f}), "
+                f"{self.stale_marked} entries marked stale"
+            )
+        return "; ".join(parts)
+
+
+def _rel_error(predicted: float, actual: float) -> float:
+    return abs(float(actual) - float(predicted)) / max(abs(float(predicted)), 1.0)
+
+
+def reconcile_run(
+    catalog: StatisticsCatalog,
+    signer: WorkflowSigner,
+    observations: StatisticsStore,
+    se_sizes: dict,
+    tapped,
+    *,
+    workflow: str = "",
+    run_id: str = "",
+    backend: str = "",
+    threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    now: float | None = None,
+) -> DriftReport:
+    """Fold one completed run back into the catalog.
+
+    ``observations`` is the run's tap output, ``se_sizes`` the true row
+    counts of every materialized plan point, ``tapped`` the statistics
+    that were actually instrumented tonight (catalog-covered statistics
+    are *not* tapped, which is the whole point — their entries are
+    validated through the drift scan instead).
+    """
+    now = time.time() if now is None else now
+    report = DriftReport()
+    tapped = set(tapped)
+
+    # 1 + 3: fresh observations refresh or admit entries
+    refreshed_keys: set[str] = set()
+    for stat in sorted(tapped, key=lambda s: s.sort_key()):
+        if stat not in observations:
+            continue  # a failed block's tap never fired
+        try:
+            key = signer.statistic_key(stat)
+            se_key = signer.se_key(stat.se)
+        except SignatureError:
+            continue
+        value = observations.get(stat)
+        previous = catalog.get(key)
+        quality = 1.0
+        if previous is not None and not stat.is_histogram:
+            err = _rel_error(previous.value(), value)
+            report.max_rel_error = max(report.max_rel_error, err)
+            quality = max(0.5, 1.0 - min(err, 1.0) / 2)
+        catalog.record(
+            key,
+            se_key,
+            stat,
+            value,
+            workflow=workflow,
+            run_id=run_id,
+            backend=backend,
+            observed_at=now,
+            quality=quality,
+        )
+        refreshed_keys.add(key)
+        (report.refreshed if previous is not None else report.added).append(
+            repr(stat)
+        )
+
+    # 2: drift scan over every materialized plan point
+    for se in sorted(se_sizes, key=repr):
+        actual = se_sizes[se]
+        try:
+            card_key = signer.statistic_key(Statistic.card(se))
+            se_key = signer.se_key(se)
+        except SignatureError:
+            continue
+        entry = catalog.get(card_key)
+        if entry is None or card_key in refreshed_keys:
+            continue
+        err = _rel_error(entry.value(), actual)
+        report.max_rel_error = max(report.max_rel_error, err)
+        catalog.adjust_quality(card_key, err)
+        if err <= threshold:
+            continue
+        report.drifted.append(repr(se))
+        # the true size is itself a valid observation: refresh in place,
+        # carrying the just-penalized quality score forward
+        catalog.record(
+            card_key,
+            se_key,
+            Statistic.card(se),
+            actual,
+            workflow=workflow,
+            run_id=run_id,
+            backend=backend,
+            observed_at=now,
+            quality=catalog.get(card_key).quality,
+        )
+        # ...but the buckets of sibling histogram/distinct entries were
+        # not materialized tonight — force their re-observation
+        siblings = [
+            sibling.key
+            for sibling in catalog.entries_on_se(se_key)
+            if sibling.key != card_key and sibling.key not in refreshed_keys
+        ]
+        report.stale_marked += catalog.mark_stale(siblings)
+
+    return report
+
+
+__all__ = ["DEFAULT_DRIFT_THRESHOLD", "DriftReport", "reconcile_run"]

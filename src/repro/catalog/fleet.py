@@ -1,0 +1,170 @@
+"""Fleet observation planning: one nightly plan for N workflows.
+
+The paper selects an optimal statistics set *per workflow*.  A nightly
+batch runs many workflows whose sub-expressions overlap heavily (the
+evaluation's 30 TPC-DI workflows share dimension tables, staged feeds and
+whole join subtrees), so planning each workflow in isolation pays for the
+same statistic many times — the observation-cost analogue of the shared
+dataflow caching of arXiv:1409.1639.
+
+:func:`plan_fleet` computes one combined plan: workflows are planned in
+sequence, and every statistic some earlier workflow (or the persistent
+catalog) already covers enters the later selection problems at **zero
+cost** through the same mechanism as Section 6.2 source statistics.  Each
+shared statistic is therefore observed by exactly one workflow per night;
+every other workflow consumes the value from the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.blocks import analyze
+from repro.catalog.signatures import SignatureError, WorkflowSigner
+from repro.catalog.store import StatisticsCatalog
+from repro.core.costs import CostModel
+from repro.core.generator import GeneratorOptions, generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.ilp import solve_ilp
+from repro.core.selection import SelectionResult, build_problem
+from repro.core.statistics import Statistic
+
+
+@dataclass
+class WorkflowObservationPlan:
+    """One workflow's share of the combined nightly plan."""
+
+    name: str
+    selection: SelectionResult
+    observe: list[Statistic]  # statistics this workflow actually taps
+    shared: dict[Statistic, str]  # covered stat -> provider ("catalog" | wf)
+    standalone_cost: float  # cost if this workflow planned alone
+    planned_cost: float  # cost of the statistics it observes in the fleet
+
+    @property
+    def saved(self) -> float:
+        return self.standalone_cost - self.planned_cost
+
+
+@dataclass
+class FleetPlan:
+    """The combined observation plan for one night across the fleet."""
+
+    workflows: list[WorkflowObservationPlan] = field(default_factory=list)
+
+    @property
+    def total_standalone_cost(self) -> float:
+        return sum(w.standalone_cost for w in self.workflows)
+
+    @property
+    def total_planned_cost(self) -> float:
+        return sum(w.planned_cost for w in self.workflows)
+
+    @property
+    def unique_observations(self) -> int:
+        return sum(len(w.observe) for w in self.workflows)
+
+    @property
+    def shared_count(self) -> int:
+        return sum(len(w.shared) for w in self.workflows)
+
+    def describe(self) -> str:
+        lines = [
+            f"fleet plan: {len(self.workflows)} workflow(s), "
+            f"{self.unique_observations} observation(s), "
+            f"{self.shared_count} shared/catalog-covered",
+            f"observation cost: standalone {self.total_standalone_cost:g} "
+            f"-> combined {self.total_planned_cost:g}",
+        ]
+        for plan in self.workflows:
+            providers = sorted(
+                {provider for provider in plan.shared.values()}
+            )
+            note = f" (reusing from {', '.join(providers)})" if providers else ""
+            lines.append(
+                f"  {plan.name}: observe {len(plan.observe)} "
+                f"(cost {plan.planned_cost:g}, alone {plan.standalone_cost:g})"
+                f"{note}"
+            )
+        return "\n".join(lines)
+
+
+def plan_fleet(
+    workflows,
+    catalog: StatisticsCatalog | None = None,
+    *,
+    solver: str = "greedy",
+    generator_options: GeneratorOptions | None = None,
+    now: float | None = None,
+) -> FleetPlan:
+    """Compute the combined nightly observation plan.
+
+    ``workflows`` is an iterable of :class:`~repro.algebra.operators
+    .Workflow` objects (order matters: earlier workflows claim shared
+    statistics, later ones reuse them for free).  ``catalog``, when given,
+    contributes its usable entries as zero-cost statistics for *every*
+    workflow — pre-existing knowledge nobody needs to observe tonight.
+    """
+    options = generator_options or GeneratorOptions()
+    solve = solve_greedy if solver == "greedy" else solve_ilp
+    catalog_keys = catalog.usable_keys(now) if catalog is not None else set()
+
+    #: signature -> workflow name that will observe it tonight
+    claimed: dict[str, str] = {}
+    fleet = FleetPlan()
+
+    for workflow in workflows:
+        analysis = analyze(workflow)
+        css = generate_css(analysis, options)
+        signer = WorkflowSigner(analysis)
+        cost_model = CostModel(workflow.catalog)
+
+        keys: dict[Statistic, str] = {}
+        for stat in css.all_statistics:
+            try:
+                keys[stat] = signer.statistic_key(stat)
+            except SignatureError:
+                continue
+        free = {
+            stat
+            for stat, key in keys.items()
+            if key in claimed or key in catalog_keys
+        }
+
+        standalone = solve(build_problem(css, cost_model))
+        selection = solve(
+            build_problem(css, cost_model, free_statistics=free)
+        )
+
+        observe: list[Statistic] = []
+        shared: dict[Statistic, str] = {}
+        planned_cost = 0.0
+        for stat in selection.observed:
+            key = keys.get(stat)
+            if key is not None and key in claimed:
+                shared[stat] = claimed[key]
+                continue
+            if key is not None and key in catalog_keys:
+                shared[stat] = "catalog"
+                continue
+            observe.append(stat)
+            planned_cost += selection.problem.costs[
+                selection.problem.index[stat]
+            ]
+            if key is not None:
+                claimed[key] = workflow.name
+
+        fleet.workflows.append(
+            WorkflowObservationPlan(
+                name=workflow.name,
+                selection=selection,
+                observe=observe,
+                shared=shared,
+                standalone_cost=standalone.total_cost,
+                planned_cost=planned_cost,
+            )
+        )
+    return fleet
+
+
+__all__ = ["FleetPlan", "WorkflowObservationPlan", "plan_fleet"]

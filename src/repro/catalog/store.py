@@ -1,0 +1,385 @@
+"""The persistent, cross-workflow statistics catalog.
+
+Section 6.2 integrates pre-existing source statistics at zero cost into
+CSS selection; the catalog generalizes that idea to *every* statistic any
+workflow in the fleet ever observed.  Entries are keyed by the canonical
+signatures of :mod:`repro.catalog.signatures`, so the same statistic
+reached via different workflows (or via a redesigned plan of the same
+workflow) lands on one key, and tonight's observation in workflow A is
+tomorrow's zero-cost statistic in workflow B.
+
+Each entry carries:
+
+- the **value** (counter / distinct count / exact histogram), serialized
+  with the same machinery as :mod:`repro.core.persistence`;
+- **provenance**: which workflow and run observed it, on which execution
+  backend, and when;
+- **quality**: a [0, 1] score maintained by the drift detector
+  (:mod:`repro.catalog.drift`) plus a ``stale`` flag — stale entries are
+  never offered to the selection problem, which is exactly what forces
+  their re-observation on the next run;
+- a human-readable ``repr`` of the statistic (keys are hashes; the repr
+  keeps ``repro-etl catalog show`` and catalog diffs meaningful).
+
+The file format rides on :mod:`repro.core.persistence`'s
+``format_version`` machinery: atomic writes, validated loads, sorted keys
+— a catalog is a git-diffable JSON document.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    PersistenceError,
+    _load_json,
+    atomic_write_json,
+    statistic_from_dict,
+    statistic_to_dict,
+    value_from_doc,
+    value_to_doc,
+)
+from repro.core.statistics import Statistic, StatisticsStore, StatValue
+
+#: catalog entries older than this many seconds are expired by default
+DEFAULT_TTL = 30 * 24 * 3600.0
+
+#: entries whose quality score sinks below this are not offered for reuse
+DEFAULT_MIN_QUALITY = 0.5
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One catalogued statistic value with provenance and quality."""
+
+    key: str  # canonical statistic signature digest
+    se_key: str  # canonical SE signature digest (groups entries per SE)
+    stat_doc: dict  # workflow-local statistic description (provenance)
+    value_doc: dict  # serialized value ({"value": ...} | {"histogram": ...})
+    repr: str
+    workflow: str = ""
+    run_id: str = ""
+    backend: str = ""
+    observed_at: float = 0.0
+    quality: float = 1.0
+    stale: bool = False
+    hits: int = 0
+
+    @property
+    def kind(self) -> str:
+        return self.stat_doc.get("kind", "?")
+
+    def value(self) -> StatValue:
+        return value_from_doc(self.value_doc)
+
+    def statistic(self) -> Statistic:
+        """The (workflow-local) statistic this entry was recorded under."""
+        return statistic_from_dict(self.stat_doc)
+
+    def expired(self, now: float, ttl: float) -> bool:
+        return now - self.observed_at > ttl
+
+    def usable(self, now: float, ttl: float, min_quality: float) -> bool:
+        return (
+            not self.stale
+            and self.quality >= min_quality
+            and not self.expired(now, ttl)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "se_key": self.se_key,
+            "stat": self.stat_doc,
+            **self.value_doc,
+            "repr": self.repr,
+            "workflow": self.workflow,
+            "run_id": self.run_id,
+            "backend": self.backend,
+            "observed_at": self.observed_at,
+            "quality": self.quality,
+            "stale": self.stale,
+            "hits": self.hits,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CatalogEntry":
+        try:
+            if "histogram" in doc:
+                value_doc = {"histogram": doc["histogram"]}
+            else:
+                value_doc = {"value": doc["value"]}
+            return cls(
+                key=doc["key"],
+                se_key=doc.get("se_key", ""),
+                stat_doc=doc["stat"],
+                value_doc=value_doc,
+                repr=doc.get("repr", ""),
+                workflow=doc.get("workflow", ""),
+                run_id=doc.get("run_id", ""),
+                backend=doc.get("backend", ""),
+                observed_at=float(doc.get("observed_at", 0.0)),
+                quality=float(doc.get("quality", 1.0)),
+                stale=bool(doc.get("stale", False)),
+                hits=int(doc.get("hits", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PersistenceError(f"corrupt catalog entry {doc!r}: {exc}") from exc
+
+
+@dataclass
+class CatalogHits:
+    """The slice of the catalog covering one workflow's candidate stats."""
+
+    free: set[Statistic] = field(default_factory=set)
+    values: StatisticsStore = field(default_factory=StatisticsStore)
+    keys: dict[Statistic, str] = field(default_factory=dict)
+    newest_observed_at: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.free)
+
+
+class StatisticsCatalog:
+    """File-backed store of statistics shared across workflows and runs."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        ttl: float = DEFAULT_TTL,
+        min_quality: float = DEFAULT_MIN_QUALITY,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.ttl = ttl
+        self.min_quality = min_quality
+        self.entries: dict[str, CatalogEntry] = {}
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        ttl: float = DEFAULT_TTL,
+        min_quality: float = DEFAULT_MIN_QUALITY,
+    ) -> "StatisticsCatalog":
+        """Load the catalog at ``path``, or start an empty one there."""
+        catalog = cls(path, ttl=ttl, min_quality=min_quality)
+        if Path(path).exists():
+            doc = _load_json(path, "catalog")
+            catalog._load_doc(doc)
+        return catalog
+
+    def _load_doc(self, doc: dict) -> None:
+        entries = doc.get("entries", [])
+        if not isinstance(entries, list):
+            raise PersistenceError("corrupt catalog: 'entries' is not a list")
+        for entry_doc in entries:
+            entry = CatalogEntry.from_dict(entry_doc)
+            self.entries[entry.key] = entry
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "kind": "statistics-catalog",
+            "entries": [
+                self.entries[key].to_dict() for key in sorted(self.entries)
+            ],
+        }
+
+    def save(self, path: str | Path | None = None) -> None:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise PersistenceError("catalog has no path to save to")
+        atomic_write_json(self.to_dict(), target)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def get(self, key: str) -> CatalogEntry | None:
+        return self.entries.get(key)
+
+    def usable_keys(self, now: float | None = None) -> set[str]:
+        now = time.time() if now is None else now
+        return {
+            key
+            for key, entry in self.entries.items()
+            if entry.usable(now, self.ttl, self.min_quality)
+        }
+
+    def lookup(
+        self,
+        signer,
+        stats,
+        now: float | None = None,
+        count_hits: bool = True,
+    ) -> CatalogHits:
+        """Match a workflow's candidate statistics against the catalog.
+
+        Returns the statistics the catalog can satisfy — they enter the
+        selection problem at zero cost and their values back the estimator
+        without being re-observed.  Stale, expired and low-quality entries
+        never match (that is what triggers their re-observation).
+        """
+        from repro.catalog.signatures import SignatureError
+
+        now = time.time() if now is None else now
+        hits = CatalogHits()
+        for stat in stats:
+            try:
+                key = signer.statistic_key(stat)
+            except SignatureError:
+                continue
+            entry = self.entries.get(key)
+            if entry is None or not entry.usable(now, self.ttl, self.min_quality):
+                continue
+            hits.free.add(stat)
+            hits.values.put(stat, entry.value())
+            hits.keys[stat] = key
+            hits.newest_observed_at = max(
+                hits.newest_observed_at, entry.observed_at
+            )
+            if count_hits:
+                self.entries[key] = replace(entry, hits=entry.hits + 1)
+        return hits
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        key: str,
+        se_key: str,
+        stat: Statistic,
+        value: StatValue,
+        *,
+        workflow: str = "",
+        run_id: str = "",
+        backend: str = "",
+        observed_at: float | None = None,
+        quality: float | None = None,
+    ) -> CatalogEntry:
+        """Insert or refresh one observed statistic."""
+        previous = self.entries.get(key)
+        entry = CatalogEntry(
+            key=key,
+            se_key=se_key,
+            stat_doc=statistic_to_dict(stat),
+            value_doc=value_to_doc(value),
+            repr=repr(stat),
+            workflow=workflow,
+            run_id=run_id,
+            backend=backend,
+            observed_at=time.time() if observed_at is None else observed_at,
+            quality=1.0 if quality is None else quality,
+            stale=False,
+            hits=previous.hits if previous is not None else 0,
+        )
+        self.entries[key] = entry
+        return entry
+
+    def mark_stale(self, keys) -> int:
+        """Flag entries so the next run re-observes them; returns count."""
+        marked = 0
+        for key in keys:
+            entry = self.entries.get(key)
+            if entry is not None and not entry.stale:
+                self.entries[key] = replace(entry, stale=True)
+                marked += 1
+        return marked
+
+    def entries_on_se(self, se_key: str) -> list[CatalogEntry]:
+        """Every entry describing a statistic on the given SE."""
+        return sorted(
+            (e for e in self.entries.values() if e.se_key == se_key),
+            key=lambda e: e.key,
+        )
+
+    def adjust_quality(self, key: str, rel_error: float) -> None:
+        """Blend a fresh prediction error into an entry's quality score."""
+        entry = self.entries.get(key)
+        if entry is None:
+            return
+        accuracy = max(0.0, 1.0 - min(rel_error, 1.0))
+        self.entries[key] = replace(
+            entry, quality=0.5 * entry.quality + 0.5 * accuracy
+        )
+
+    def gc(
+        self,
+        now: float | None = None,
+        ttl: float | None = None,
+        min_quality: float | None = None,
+        drop_stale: bool = True,
+    ) -> int:
+        """Drop expired, low-quality and (optionally) stale entries."""
+        now = time.time() if now is None else now
+        ttl = self.ttl if ttl is None else ttl
+        min_quality = self.min_quality if min_quality is None else min_quality
+        doomed = [
+            key
+            for key, entry in self.entries.items()
+            if entry.expired(now, ttl)
+            or entry.quality < min_quality
+            or (drop_stale and entry.stale)
+        ]
+        for key in doomed:
+            del self.entries[key]
+        return len(doomed)
+
+    def merge(self, other: "StatisticsCatalog") -> int:
+        """Import entries from another catalog; newer observation wins."""
+        imported = 0
+        for key, entry in other.entries.items():
+            mine = self.entries.get(key)
+            if mine is None or entry.observed_at > mine.observed_at:
+                self.entries[key] = entry
+                imported += 1
+        return imported
+
+    # ------------------------------------------------------------------
+    def describe(self, stale_only: bool = False) -> str:
+        now = time.time()
+        lines = [
+            f"catalog: {len(self.entries)} entries "
+            f"({len(self.usable_keys(now))} usable, ttl {self.ttl:g}s)"
+        ]
+        for key in sorted(self.entries):
+            entry = self.entries[key]
+            if stale_only and not entry.stale:
+                continue
+            age = now - entry.observed_at
+            flags = []
+            if entry.stale:
+                flags.append("stale")
+            if entry.expired(now, self.ttl):
+                flags.append("expired")
+            if entry.quality < self.min_quality:
+                flags.append("low-quality")
+            note = f" [{','.join(flags)}]" if flags else ""
+            lines.append(
+                f"  {key[:12]} {entry.repr}  q={entry.quality:.2f} "
+                f"hits={entry.hits} age={age:.0f}s "
+                f"from={entry.workflow or '?'}/{entry.run_id or '?'}"
+                f"{note}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_MIN_QUALITY",
+    "DEFAULT_TTL",
+    "CatalogEntry",
+    "CatalogHits",
+    "StatisticsCatalog",
+]

@@ -22,7 +22,20 @@ console script):
 - ``experiments <data|fig9|fig10|fig11|fig12>`` -- regenerate a Section 7
   table/figure and print it;
 - ``export --number N --format json|xml`` -- dump a suite workflow as a
-  document other tools (or the ``analyze``/``identify`` commands) consume.
+  document other tools (or the ``analyze``/``identify`` commands)
+  consume; JSON output is byte-deterministic (sorted keys, stable node
+  ordering) so exports diff cleanly in git;
+- ``catalog <show|gc|import|export|plan-fleet>`` -- manage the shared
+  statistics catalog: inspect entries with provenance and quality,
+  garbage-collect expired/stale/low-quality entries, merge catalogs or
+  sign a persisted statistics file into one, print the deterministic
+  JSON document, or compute the combined nightly observation plan that
+  observes each statistic shared across suite workflows exactly once.
+
+``run`` and ``identify`` accept ``--catalog CATALOG.JSON``: statistics
+already in the catalog enter selection at zero cost (Section 6.2) and are
+consumed instead of re-observed; after a ``run`` the catalog is
+reconciled (drift-checked) and saved back.
 
 Operational errors -- an unknown workflow number, an unreadable or corrupt
 workflow/fault/checkpoint file, a bad backend name -- exit with a one-line
@@ -96,6 +109,16 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _open_catalog(path: str, must_exist: bool = False):
+    from pathlib import Path
+
+    from repro.catalog import StatisticsCatalog
+
+    if must_exist and not Path(path).exists():
+        raise CliError(f"catalog file not found: {path}")
+    return StatisticsCatalog.open(path)
+
+
 def _cmd_identify(args) -> int:
     workflow = _load_workflow(args.workflow)
     analysis = analyze(workflow)
@@ -110,6 +133,19 @@ def _cmd_identify(args) -> int:
         f"{counts['css']} candidate statistics sets "
         f"({counts['required']} cardinalities to cover)"
     )
+    free_statistics = set()
+    if args.catalog:
+        from repro.catalog import WorkflowSigner
+
+        stats_catalog = _open_catalog(args.catalog)
+        hits = stats_catalog.lookup(
+            WorkflowSigner(analysis), catalog.all_statistics, count_hits=False
+        )
+        free_statistics = hits.free
+        print(
+            f"catalog {args.catalog}: {len(hits.free)} statistics already "
+            "available at zero cost"
+        )
     cost_model = CostModel(workflow.catalog)
     if args.budget is not None:
         from repro.core.resource import plan_constrained
@@ -128,7 +164,7 @@ def _cmd_identify(args) -> int:
             for name, tree in sorted(step.trees.items()):
                 print(f"    {name}: {tree}")
         return 0
-    problem = build_problem(catalog, cost_model)
+    problem = build_problem(catalog, cost_model, free_statistics=free_statistics)
     if args.solver == "greedy":
         result = solve_greedy(problem)
     else:
@@ -175,10 +211,16 @@ def _cmd_run(args) -> int:
                 f"{', '.join(sorted(checkpoint.completed))} already done"
             )
     prior = None
+    prior_observed_at = None
     if args.prior_stats:
         from repro.core.persistence import load_statistics
 
         prior = load_statistics(args.prior_stats)
+        try:
+            prior_observed_at = Path(args.prior_stats).stat().st_mtime
+        except OSError:  # pragma: no cover - just read it
+            prior_observed_at = None
+    stats_catalog = _open_catalog(args.catalog) if args.catalog else None
 
     report = pipeline.run_once(
         sources,
@@ -186,6 +228,9 @@ def _cmd_run(args) -> int:
         retry=retry,
         checkpoint=checkpoint,
         prior_statistics=prior,
+        prior_observed_at=prior_observed_at,
+        stats_catalog=stats_catalog,
+        run_id=f"wf{wfcase.number:02d}-seed{args.seed}",
     )
     total_in = sum(t.num_rows for t in sources.values())
     print(
@@ -199,6 +244,12 @@ def _cmd_run(args) -> int:
         "timings: "
         + ", ".join(f"{k} {v * 1e3:.1f}ms" for k, v in report.timings.items())
     )
+    if stats_catalog is not None:
+        print(
+            f"catalog {args.catalog}: {report.catalog_hits} reused, "
+            f"{len(report.tapped)} observed fresh, "
+            f"{len(stats_catalog.entries)} entries after reconcile"
+        )
     if args.save_stats:
         from repro.core.persistence import save_statistics
 
@@ -270,6 +321,84 @@ def _cmd_export(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# catalog command group
+# ---------------------------------------------------------------------------
+
+
+def _cmd_catalog_show(args) -> int:
+    catalog = _open_catalog(args.path, must_exist=True)
+    print(catalog.describe(stale_only=args.stale))
+    return 0
+
+
+def _cmd_catalog_gc(args) -> int:
+    catalog = _open_catalog(args.path, must_exist=True)
+    before = len(catalog.entries)
+    removed = catalog.gc(
+        ttl=args.ttl,
+        min_quality=args.min_quality,
+        drop_stale=not args.keep_stale,
+    )
+    catalog.save()
+    print(f"gc: removed {removed} of {before} entries, {len(catalog.entries)} kept")
+    return 0
+
+
+def _cmd_catalog_export(args) -> int:
+    import json as _json
+
+    catalog = _open_catalog(args.path, must_exist=True)
+    print(_json.dumps(catalog.to_dict(), indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_catalog_import(args) -> int:
+    catalog = _open_catalog(args.path)
+    imported = 0
+    if args.stats:
+        # sign a persisted statistics store against a suite workflow --
+        # the Section 6.2 "pre-existing source statistics" entry point
+        if args.number is None:
+            raise CliError("--stats needs --number to sign the statistics")
+        from repro.catalog import SignatureError, WorkflowSigner
+        from repro.core.persistence import load_statistics
+
+        wfcase = _case(args.number)
+        signer = WorkflowSigner(analyze(wfcase.build()))
+        store = load_statistics(args.stats)
+        for stat, value in store.items():
+            try:
+                key = signer.statistic_key(stat)
+                se_key = signer.se_key(stat.se)
+            except SignatureError as exc:
+                raise CliError(
+                    f"statistic {stat!r} does not belong to workflow "
+                    f"wf{args.number:02d}: {exc}"
+                ) from exc
+            catalog.record(
+                key, se_key, stat, value,
+                workflow=f"wf{wfcase.number:02d}", run_id="import",
+            )
+            imported += 1
+    for source in args.sources:
+        imported += catalog.merge(_open_catalog(source, must_exist=True))
+    catalog.save()
+    print(f"imported {imported} entries; catalog has {len(catalog.entries)}")
+    return 0
+
+
+def _cmd_catalog_plan_fleet(args) -> int:
+    from repro.catalog import plan_fleet
+
+    catalog = _open_catalog(args.path) if args.path else None
+    numbers = args.numbers or [c.number for c in suite()]
+    workflows = [_case(n).build() for n in numbers]
+    plan = plan_fleet(workflows, catalog, solver=args.solver)
+    print(plan.describe())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-etl argument parser (exposed for shell-completion tools)."""
     parser = argparse.ArgumentParser(
@@ -295,6 +424,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="observation-memory budget; schedules multiple executions "
         "when the optimum does not fit (Section 6.1)",
+    )
+    p.add_argument(
+        "--catalog",
+        default=None,
+        metavar="CATALOG.JSON",
+        help="shared statistics catalog; entries it covers enter the "
+        "selection problem at zero cost (Section 6.2)",
     )
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_identify)
@@ -359,6 +495,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist tonight's observed statistics here (feed them back "
         "via --prior-stats on a later run)",
     )
+    p.add_argument(
+        "--catalog",
+        default=None,
+        metavar="CATALOG.JSON",
+        help="shared statistics catalog: covered statistics are consumed "
+        "at zero cost instead of re-observed; the run reconciles "
+        "(drift-checks) and saves the catalog afterwards",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("suite", help="describe the 30-workflow benchmark")
@@ -383,6 +527,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--number", type=int, required=True)
     p.add_argument("--format", choices=("json", "xml"), default="json")
     p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser(
+        "catalog", help="manage the shared cross-workflow statistics catalog"
+    )
+    catalog_sub = p.add_subparsers(dest="catalog_command", required=True)
+
+    c = catalog_sub.add_parser("show", help="list entries with provenance")
+    c.add_argument("path", help="catalog file")
+    c.add_argument("--stale", action="store_true", help="stale entries only")
+    c.set_defaults(fn=_cmd_catalog_show)
+
+    c = catalog_sub.add_parser(
+        "gc", help="drop expired, stale and low-quality entries"
+    )
+    c.add_argument("path")
+    c.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="expire entries older than this (default: the catalog TTL)",
+    )
+    c.add_argument(
+        "--min-quality", type=float, default=None, metavar="Q",
+        help="drop entries whose quality score is below Q",
+    )
+    c.add_argument(
+        "--keep-stale", action="store_true",
+        help="keep drift-marked entries (they still never match lookups)",
+    )
+    c.set_defaults(fn=_cmd_catalog_gc)
+
+    c = catalog_sub.add_parser(
+        "export", help="print the deterministic catalog document"
+    )
+    c.add_argument("path")
+    c.set_defaults(fn=_cmd_catalog_export)
+
+    c = catalog_sub.add_parser(
+        "import", help="merge other catalogs or sign a statistics file in"
+    )
+    c.add_argument("path", help="destination catalog file")
+    c.add_argument(
+        "sources", nargs="*", help="other catalog files to merge in"
+    )
+    c.add_argument(
+        "--stats", default=None, metavar="STATS.JSON",
+        help="a persisted statistics store (from `run --save-stats`) to "
+        "sign into the catalog; needs --number",
+    )
+    c.add_argument(
+        "--number", type=int, default=None,
+        help="suite workflow the --stats file was observed on",
+    )
+    c.set_defaults(fn=_cmd_catalog_import)
+
+    c = catalog_sub.add_parser(
+        "plan-fleet",
+        help="one combined nightly observation plan across suite workflows",
+    )
+    c.add_argument(
+        "path", nargs="?", default=None,
+        help="catalog file contributing zero-cost entries (optional)",
+    )
+    c.add_argument(
+        "--numbers", type=int, nargs="*", default=None,
+        help="suite workflow numbers (default: all 30)",
+    )
+    c.add_argument("--solver", choices=("ilp", "greedy"), default="greedy")
+    c.set_defaults(fn=_cmd_catalog_plan_fleet)
 
     return parser
 

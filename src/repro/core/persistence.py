@@ -94,7 +94,9 @@ def atomic_write_json(doc: dict, path: str | Path) -> None:
     )
     try:
         with os.fdopen(fd, "w") as handle:
-            json.dump(doc, handle, indent=1)
+            # sorted keys keep persisted documents (statistics, catalogs,
+            # checkpoints) byte-stable across runs, so they diff cleanly
+            json.dump(doc, handle, indent=1, sort_keys=True)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -173,18 +175,36 @@ def statistic_from_dict(doc: dict) -> Statistic:
     return Statistic(kind, se_from_dict(doc["se"]), tuple(doc.get("attrs", ())))
 
 
+def value_to_doc(value) -> dict:
+    """JSON-ready form of a statistic value (number or histogram)."""
+    if isinstance(value, Histogram):
+        return {
+            "histogram": {
+                "attrs": list(value.attrs),
+                "buckets": sorted(
+                    ([list(k), v] for k, v in value.counts.items()),
+                    key=lambda bucket: json.dumps(bucket[0]),
+                ),
+            }
+        }
+    return {"value": value}
+
+
+def value_from_doc(doc: dict):
+    """Inverse of :func:`value_to_doc`."""
+    if "histogram" in doc:
+        hdoc = doc["histogram"]
+        counts = {tuple(k): v for k, v in hdoc["buckets"]}
+        return Histogram(tuple(hdoc["attrs"]), counts)
+    return doc["value"]
+
+
 def store_to_dict(store: StatisticsStore) -> dict:
     """Serialize a statistics store (values included) deterministically."""
     entries = []
     for stat, value in store.items():
         entry = {"stat": statistic_to_dict(stat)}
-        if isinstance(value, Histogram):
-            entry["histogram"] = {
-                "attrs": list(value.attrs),
-                "buckets": [[list(k), v] for k, v in value.counts.items()],
-            }
-        else:
-            entry["value"] = value
+        entry.update(value_to_doc(value))
         entries.append(entry)
     entries.sort(key=lambda e: json.dumps(e["stat"], sort_keys=True))
     return {"format_version": FORMAT_VERSION, "statistics": entries}
@@ -200,12 +220,7 @@ def store_from_dict(doc: dict) -> StatisticsStore:
     for entry in entries:
         try:
             stat = statistic_from_dict(entry["stat"])
-            if "histogram" in entry:
-                hdoc = entry["histogram"]
-                counts = {tuple(k): v for k, v in hdoc["buckets"]}
-                store.put(stat, Histogram(tuple(hdoc["attrs"]), counts))
-            else:
-                store.put(stat, entry["value"])
+            store.put(stat, value_from_doc(entry))
         except PersistenceError:
             raise
         except (KeyError, TypeError, ValueError) as exc:

@@ -43,8 +43,15 @@ class PipelineReport:
     A degraded cycle (some block permanently failed) still reports plans
     for every block: ``failures`` holds the structured per-task failure
     records, ``degraded`` maps each affected block to the statistics
-    source that substituted for tonight's observations, and each plan's
-    ``confidence`` annotates how trustworthy its cost estimates are.
+    source that substituted for tonight's observations (with the per-SE
+    detail in ``degraded_sources``), and each plan's ``confidence``
+    annotates how trustworthy its cost estimates are.
+
+    When a shared :class:`~repro.catalog.store.StatisticsCatalog` backs
+    the cycle, ``tapped`` lists the statistics actually instrumented
+    tonight (catalog-covered ones are consumed at zero cost instead of
+    being re-observed — ``catalog_hits`` counts them) and ``drift`` holds
+    the reconciliation report.
     """
 
     analysis: BlockAnalysis
@@ -56,6 +63,10 @@ class PipelineReport:
     timings: dict[str, float] = field(default_factory=dict)
     failures: dict[str, RunFailure] = field(default_factory=dict)
     degraded: dict[str, str] = field(default_factory=dict)
+    degraded_sources: dict[str, dict[str, str]] = field(default_factory=dict)
+    tapped: list[Statistic] = field(default_factory=list)
+    catalog_hits: int = 0
+    drift: "object | None" = None  # DriftReport when a catalog was given
 
     @property
     def ok(self) -> bool:
@@ -93,6 +104,15 @@ class PipelineReport:
             f"plan cost: initial {self.total_initial_cost:g} -> "
             f"optimized {self.total_estimated_cost:g}",
         ]
+        if self.catalog_hits:
+            lines.append(
+                f"catalog: {self.catalog_hits} statistics reused at zero "
+                f"cost, {len(self.tapped)} observed fresh"
+            )
+        if self.drift is not None and getattr(self.drift, "touched", 0) + len(
+            getattr(self.drift, "drifted", ())
+        ):
+            lines.append(self.drift.describe())
         for name, plan in self.plans.items():
             marker = "*" if plan.improved else " "
             note = "" if plan.confidence == "observed" else f" [{plan.confidence}]"
@@ -155,6 +175,10 @@ class StatisticsPipeline:
         retry: RetryPolicy | None = None,
         checkpoint=None,
         prior_statistics: StatisticsStore | None = None,
+        prior_observed_at: float | None = None,
+        stats_catalog=None,
+        run_id: str = "",
+        drift_threshold: float | None = None,
     ) -> PipelineReport:
         """One full observe-and-optimize cycle.
 
@@ -176,6 +200,17 @@ class StatisticsPipeline:
         block's current plan).  With a degraded run the cycle still
         completes: healthy blocks get exactly the plans a fault-free run
         would choose, affected blocks are annotated in ``degraded``.
+
+        ``stats_catalog`` is a shared
+        :class:`~repro.catalog.store.StatisticsCatalog`: its usable
+        entries join the selection problem at zero cost (the Section 6.2
+        mechanism), are *not* re-instrumented tonight, and back the
+        estimator directly.  After the run the catalog is reconciled --
+        fresh observations refresh it, drifted entries are penalized and
+        marked stale -- and saved if it has a backing file.
+        ``prior_observed_at`` (e.g. the mtime of a ``--prior-stats``
+        file) lets the degraded fallback prefer the fresher of the prior
+        store and the catalog.
         """
         timings: dict[str, float] = {}
 
@@ -186,31 +221,90 @@ class StatisticsPipeline:
             analysis, catalog = self.analysis, self.catalog
 
         t0 = time.perf_counter()
-        problem = build_problem(
-            catalog, self.cost_model(), free_statistics=self.free_statistics
-        )
+        signer = None
+        hits = None
+        free = set(self.free_statistics)
+        if stats_catalog is not None:
+            from repro.catalog.signatures import WorkflowSigner
+
+            signer = WorkflowSigner(analysis)
+            hits = stats_catalog.lookup(signer, catalog.all_statistics)
+            free |= hits.free
+        problem = build_problem(catalog, self.cost_model(), free_statistics=free)
         selection = (
             solve_greedy(problem) if self.solver == "greedy" else solve_ilp(problem)
         )
+        # catalog-covered statistics are consumed, never re-observed:
+        # they are dropped from the instrumented set, which is where the
+        # fleet-wide observation savings materialize
+        tapped = [
+            stat
+            for stat in selection.observed
+            if hits is None or stat not in hits.free
+        ]
         timings["selection"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         backend = get_backend(self.backend)
-        taps = backend.make_taps(selection.observed)
+        taps = backend.make_taps(tapped)
         run = BackendExecutor(analysis, backend, workers=self.workers).run(
             sources, taps=taps, faults=faults, retry=retry, checkpoint=checkpoint
         )
         timings["execution"] = time.perf_counter() - t0
         self._se_sizes = dict(run.se_sizes)  # feeds next cycle's CPU costs
 
+        drift = None
+        if stats_catalog is not None:
+            from repro.catalog.drift import reconcile_run
+
+            t0 = time.perf_counter()
+            kwargs = {} if drift_threshold is None else {
+                "threshold": drift_threshold
+            }
+            drift = reconcile_run(
+                stats_catalog,
+                signer,
+                run.observations,
+                run.se_sizes,
+                tapped,
+                workflow=analysis.workflow.name,
+                run_id=run_id,
+                backend=self.backend,
+                **kwargs,
+            )
+            if stats_catalog.path is not None:
+                stats_catalog.save()
+            timings["reconcile"] = time.perf_counter() - t0
+
         t0 = time.perf_counter()
-        estimator = CardinalityEstimator(catalog, run.observations)
+        effective = run.observations
+        if hits is not None and len(hits.values):
+            effective = run.observations.copy()
+            effective.merge(hits.values)
+        estimator = CardinalityEstimator(catalog, effective)
         degraded: dict[str, str] = {}
+        degraded_sources: dict[str, dict[str, str]] = {}
         if run.failures:
             from repro.framework.recovery import degraded_cardinalities
 
-            cards, degraded = degraded_cardinalities(
-                analysis, run, catalog, estimator, prior=prior_statistics
+            observed_only = (
+                CardinalityEstimator(catalog, run.observations)
+                if hits is not None and len(hits.values)
+                else estimator
+            )
+            prefer_prior = (
+                prior_observed_at is not None
+                and hits is not None
+                and prior_observed_at > hits.newest_observed_at
+            )
+            cards, degraded, degraded_sources = degraded_cardinalities(
+                analysis,
+                run,
+                catalog,
+                observed_only,
+                prior=prior_statistics,
+                catalog_statistics=hits.values if hits is not None else None,
+                prefer_prior=prefer_prior,
             )
             optimizer = PlanOptimizer(analysis, cards, metric=self.cost_metric)
             plans = {
@@ -239,4 +333,8 @@ class StatisticsPipeline:
             timings=timings,
             failures=dict(run.failures),
             degraded=degraded,
+            degraded_sources=degraded_sources,
+            tapped=tapped,
+            catalog_hits=len(selection.observed) - len(tapped),
+            drift=drift,
         )

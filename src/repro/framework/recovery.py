@@ -17,17 +17,24 @@ the paper's premise is that stale or approximate statistics still beat
 none -- :func:`degraded_cardinalities` fills the failed blocks' SE
 cardinalities from, in order of trust:
 
-1. a prior run's persisted statistics (the data usually drifts slowly
-   between nightly loads);
-2. the textbook independence baseline
+1. the shared statistics catalog (:mod:`repro.catalog`): its entries are
+   drift-checked every night and carry observation timestamps, so they
+   rank just below tonight's own observations;
+2. a prior run's persisted statistics (the data usually drifts slowly
+   between nightly loads) -- when the caller knows the prior store is
+   *fresher* than the matching catalog entries (``prefer_prior=True``,
+   e.g. a ``--prior-stats`` file written after the catalog's last
+   refresh), the two rungs swap;
+3. the textbook independence baseline
    (:mod:`repro.baselines.independence`) computed from whatever inputs
    did load tonight;
-3. nothing -- the block is reported unoptimizable and keeps its current
+4. nothing -- the block is reported unoptimizable and keeps its current
    plan.
 
-The per-block provenance is returned alongside the filled cardinalities so
-:class:`~repro.framework.pipeline.PipelineReport` can annotate each plan
-with the confidence of the estimates behind it.
+The provenance is returned alongside the filled cardinalities, per block
+*and* per SE, so :class:`~repro.framework.pipeline.PipelineReport` can
+annotate each plan with the confidence of the estimates behind it and
+report exactly which source satisfied each gap.
 """
 
 from __future__ import annotations
@@ -56,9 +63,28 @@ from repro.engine.table import Table
 
 #: plan-confidence labels, strongest first
 CONFIDENCE_OBSERVED = "observed"
+CONFIDENCE_CATALOG = "catalog"
 CONFIDENCE_PRIOR = "prior"
 CONFIDENCE_INDEPENDENCE = "independence"
 CONFIDENCE_NONE = "none"
+
+#: the degraded-fallback ladder, strongest first
+CONFIDENCE_ORDER = (
+    CONFIDENCE_OBSERVED,
+    CONFIDENCE_CATALOG,
+    CONFIDENCE_PRIOR,
+    CONFIDENCE_INDEPENDENCE,
+    CONFIDENCE_NONE,
+)
+
+
+def weakest_confidence(labels) -> str:
+    """The weakest label in ``labels`` along the fallback ladder."""
+    worst = CONFIDENCE_OBSERVED
+    for label in labels:
+        if CONFIDENCE_ORDER.index(label) > CONFIDENCE_ORDER.index(worst):
+            worst = label
+    return worst
 
 
 class RunCheckpoint:
@@ -224,27 +250,44 @@ def degraded_cardinalities(
     catalog: CssCatalog,
     estimator,
     prior: StatisticsStore | None = None,
-) -> tuple[dict[AnySE, float], dict[str, str]]:
+    catalog_statistics: StatisticsStore | None = None,
+    prefer_prior: bool = False,
+) -> tuple[dict[AnySE, float], dict[str, str], dict[str, dict[str, str]]]:
     """Fill in cardinalities the failed run could not observe.
 
     ``estimator`` is the :class:`~repro.estimation.estimator
     .CardinalityEstimator` built over tonight's (partial) observations.
-    Returns ``(cardinalities, confidence)`` where ``confidence`` labels
-    each block whose estimates are not fully observed with the weakest
-    source used for it (``prior`` > ``independence`` > ``none``).
+    ``catalog_statistics`` holds the shared-catalog values matched for
+    this workflow, ranked between tonight's observations and ``prior``
+    (swapped when ``prefer_prior`` says the prior file is fresher).
+
+    Returns ``(cardinalities, confidence, sources)``: ``confidence``
+    labels each affected block with the *weakest* source used for it, and
+    ``sources`` records, per block and per SE, exactly which rung of the
+    ladder satisfied the gap.
     """
     from repro.baselines.independence import IndependenceEstimator, profile_inputs
     from repro.estimation.estimator import CardinalityEstimator, EstimationError
 
     cards: dict[AnySE, float] = dict(estimator.all_cardinalities())
     confidence: dict[str, str] = {}
+    sources: dict[str, dict[str, str]] = {}
 
-    prior_estimator = None
-    if prior is not None and len(prior):
+    def store_estimator(store: StatisticsStore | None):
+        if store is None or not len(store):
+            return None
         try:
-            prior_estimator = CardinalityEstimator(catalog, prior)
+            return CardinalityEstimator(catalog, store)
         except (EstimationError, KeyError, ValueError):
-            prior_estimator = None
+            return None
+
+    rungs: list[tuple[str, object]] = []
+    catalog_pair = (CONFIDENCE_CATALOG, store_estimator(catalog_statistics))
+    prior_pair = (CONFIDENCE_PRIOR, store_estimator(prior))
+    ordered = (
+        [prior_pair, catalog_pair] if prefer_prior else [catalog_pair, prior_pair]
+    )
+    rungs.extend(pair for pair in ordered if pair[1] is not None)
 
     independence = None
 
@@ -259,39 +302,39 @@ def degraded_cardinalities(
         needed = [se for se in block.join_ses() if se not in cards]
         if not needed:
             continue
-        sources_used: set[str] = set()
+        block_sources: dict[str, str] = {}
         for se in needed:
             value = None
-            if prior_estimator is not None:
+            label = CONFIDENCE_NONE
+            for rung_label, rung_estimator in rungs:
                 try:
-                    value = prior_estimator.cardinality(se)
-                    sources_used.add(CONFIDENCE_PRIOR)
+                    value = rung_estimator.cardinality(se)
+                    label = rung_label
+                    break
                 except (EstimationError, KeyError):
                     value = None
             if value is None:
                 try:
                     value = independence_estimator().cardinality(se)
-                    sources_used.add(CONFIDENCE_INDEPENDENCE)
+                    label = CONFIDENCE_INDEPENDENCE
                 except KeyError:
                     value = None
-            if value is None:
-                sources_used.add(CONFIDENCE_NONE)
-            else:
+            if value is not None:
                 cards[se] = float(value)
-        if CONFIDENCE_NONE in sources_used:
-            confidence[block.name] = CONFIDENCE_NONE
-        elif CONFIDENCE_INDEPENDENCE in sources_used:
-            confidence[block.name] = CONFIDENCE_INDEPENDENCE
-        else:
-            confidence[block.name] = CONFIDENCE_PRIOR
-    return cards, confidence
+            block_sources[repr(se)] = label
+        sources[block.name] = block_sources
+        confidence[block.name] = weakest_confidence(block_sources.values())
+    return cards, confidence, sources
 
 
 __all__ = [
+    "CONFIDENCE_CATALOG",
     "CONFIDENCE_INDEPENDENCE",
     "CONFIDENCE_NONE",
     "CONFIDENCE_OBSERVED",
+    "CONFIDENCE_ORDER",
     "CONFIDENCE_PRIOR",
     "RunCheckpoint",
     "degraded_cardinalities",
+    "weakest_confidence",
 ]

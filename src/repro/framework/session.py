@@ -62,6 +62,13 @@ class EtlSession:
     night whose block fails permanently is optimized from the freshest
     statistics any earlier night produced; drift and plan adoption for
     the failed statistics stand still until real observations return.
+
+    Sharing: a ``stats_catalog``
+    (:class:`~repro.catalog.store.StatisticsCatalog`) is threaded into
+    every run -- catalog-covered statistics are consumed at zero cost
+    instead of re-observed, each completed run reconciles (and persists)
+    the catalog, and runs of *other* workflows sharing the same catalog
+    file inherit tonight's observations.
     """
 
     pipeline: StatisticsPipeline
@@ -74,6 +81,7 @@ class EtlSession:
     workers: int | None = None  # override the pipeline's scheduler width
     retry: RetryPolicy | None = None  # scheduler policy for every run
     faults: "FaultPlan | None" = None  # chaos sessions (tests/benchmarks)
+    stats_catalog: "object | None" = None  # shared StatisticsCatalog
     _prior_observations: StatisticsStore | None = None
 
     def __post_init__(self) -> None:
@@ -95,6 +103,8 @@ class EtlSession:
             retry=self.retry,
             faults=self.faults,
             prior_statistics=self._prior_observations,
+            stats_catalog=self.stats_catalog,
+            run_id=f"run{index}",
         )
         self._retain_observations(report)
 

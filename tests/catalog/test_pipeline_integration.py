@@ -1,0 +1,129 @@
+"""Catalog wired through the pipeline and session layers."""
+
+import pytest
+
+from repro.catalog import StatisticsCatalog
+from repro.engine.faults import FaultPlan, FaultSpec
+from repro.framework.pipeline import StatisticsPipeline
+from repro.framework.session import EtlSession
+from repro.workloads import case
+
+
+def _permanent(target):
+    return FaultPlan((FaultSpec(target=target, kind="permanent"),), seed=5)
+
+
+def fresh(number=11, **kwargs):
+    wfcase = case(number)
+    pipeline = StatisticsPipeline(wfcase.build(), solver="greedy", **kwargs)
+    return wfcase, pipeline
+
+
+class TestWarmRuns:
+    def test_second_run_observes_nothing_new(self, tmp_path):
+        wfcase, pipeline = fresh()
+        sources = wfcase.tables(scale=0.2, seed=7)
+        catalog = StatisticsCatalog(tmp_path / "catalog.json")
+
+        cold = pipeline.run_once(sources, stats_catalog=catalog)
+        assert cold.catalog_hits == 0
+        assert cold.tapped == list(cold.selection.observed)
+        assert cold.drift is not None and cold.drift.added
+
+        warm = pipeline.run_once(sources, stats_catalog=catalog)
+        assert warm.tapped == []
+        assert warm.catalog_hits == len(warm.selection.observed)
+        assert warm.selection.total_cost == 0.0
+
+        # identical plans and estimates either way
+        assert warm.chosen_trees == cold.chosen_trees
+        assert warm.estimator.all_cardinalities() == pytest.approx(
+            cold.estimator.all_cardinalities()
+        )
+
+    def test_catalog_persisted_between_processes(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        wfcase, pipeline = fresh()
+        sources = wfcase.tables(scale=0.2, seed=7)
+        pipeline.run_once(sources, stats_catalog=StatisticsCatalog(path))
+        assert path.exists()
+
+        # a different process (fresh pipeline, reopened catalog) stays warm
+        _, pipeline2 = fresh()
+        warm = pipeline2.run_once(
+            sources, stats_catalog=StatisticsCatalog.open(path)
+        )
+        assert warm.tapped == []
+
+    def test_cross_workflow_sharing(self, tmp_path):
+        catalog = StatisticsCatalog(tmp_path / "shared.json")
+        wf11, p11 = fresh(11)
+        p11.run_once(wf11.tables(scale=0.2, seed=7), stats_catalog=catalog)
+
+        wf12, p12 = fresh(12)
+        cold_taps = len(
+            p12.run_once(wf12.tables(scale=0.2, seed=7)).selection.observed
+        )
+        report = p12.run_once(
+            wf12.tables(scale=0.2, seed=7), stats_catalog=catalog
+        )
+        assert report.catalog_hits > 0
+        assert len(report.tapped) < cold_taps
+
+    def test_describe_reports_reuse(self, tmp_path):
+        wfcase, pipeline = fresh()
+        sources = wfcase.tables(scale=0.2, seed=7)
+        catalog = StatisticsCatalog(tmp_path / "c.json")
+        pipeline.run_once(sources, stats_catalog=catalog)
+        warm = pipeline.run_once(sources, stats_catalog=catalog)
+        text = warm.describe()
+        assert "reused at zero" in text
+
+
+class TestSessionWiring:
+    def test_session_threads_catalog_through_runs(self, tmp_path):
+        wfcase, pipeline = fresh()
+        catalog = StatisticsCatalog(tmp_path / "catalog.json")
+        session = EtlSession(pipeline, stats_catalog=catalog)
+        first = session.run(wfcase.tables(scale=0.2, seed=7))
+        second = session.run(wfcase.tables(scale=0.2, seed=8))
+        assert first.report.catalog_hits == 0
+        assert second.report.catalog_hits > 0
+        # run ids recorded in provenance
+        run_ids = {e.run_id for e in catalog.entries.values()}
+        assert run_ids <= {"run0", "run1"}
+
+
+class TestDegradedWithCatalog:
+    def test_catalog_backfills_failed_block(self, tmp_path):
+        wfcase, pipeline = fresh(11)
+        sources = wfcase.tables(scale=0.2, seed=7)
+        catalog = StatisticsCatalog(tmp_path / "catalog.json")
+        pipeline.run_once(sources, stats_catalog=catalog)
+
+        # warm run: the block fails permanently, but the catalog holds
+        # every statistic -- confidence lands on the catalog rung
+        block = pipeline.analysis.blocks[0].name
+        faults = _permanent(block)
+        report = pipeline.run_once(
+            sources, stats_catalog=catalog, faults=faults
+        )
+        assert report.failures
+        assert report.degraded
+        labels = set()
+        for per_se in report.degraded_sources.values():
+            labels |= set(per_se.values())
+        assert "catalog" in labels
+        assert report.degraded[block] == "catalog"
+
+    def test_without_catalog_falls_back_to_prior(self):
+        wfcase, pipeline = fresh(11)
+        sources = wfcase.tables(scale=0.2, seed=7)
+        clean = pipeline.run_once(sources)
+        block = pipeline.analysis.blocks[0].name
+        report = pipeline.run_once(
+            sources,
+            faults=_permanent(block),
+            prior_statistics=clean.run.observations,
+        )
+        assert report.degraded[block] == "prior"

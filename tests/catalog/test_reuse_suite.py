@@ -1,0 +1,71 @@
+"""Suite-scale acceptance: the catalog pays for itself across the fleet.
+
+A cold nightly pass over the full 30-workflow TPC-DI suite populates one
+shared catalog; the warm pass the next night must observe at least 30%
+fewer statistics (the issue's acceptance floor — in practice the saving
+is total when the data does not move) while choosing identical plans.
+"""
+
+import pytest
+
+from repro.catalog import StatisticsCatalog, plan_fleet
+from repro.framework.pipeline import StatisticsPipeline
+from repro.workloads import suite
+
+SCALE = 0.08
+SEED = 5
+
+
+def nightly_pass(catalog, run_id):
+    """One night: every suite workflow, sharing one catalog."""
+    taps = 0
+    plans = {}
+    hits = 0
+    for wfcase in suite():
+        pipeline = StatisticsPipeline(wfcase.build(), solver="greedy")
+        report = pipeline.run_once(
+            wfcase.tables(scale=SCALE, seed=SEED),
+            stats_catalog=catalog,
+            run_id=run_id,
+        )
+        taps += len(report.tapped)
+        hits += report.catalog_hits
+        plans[wfcase.number] = report.chosen_trees
+    return taps, hits, plans
+
+
+@pytest.mark.catalog
+def test_warm_suite_pass_observes_30_percent_fewer(tmp_path):
+    catalog = StatisticsCatalog(tmp_path / "fleet.json")
+    cold_taps, _, cold_plans = nightly_pass(catalog, "night1")
+    warm_taps, warm_hits, warm_plans = nightly_pass(catalog, "night2")
+
+    assert cold_taps > 0
+    assert warm_taps <= 0.7 * cold_taps, (
+        f"warm pass observed {warm_taps} of {cold_taps} — saving below 30%"
+    )
+    assert warm_hits > 0
+    assert warm_plans == cold_plans, "reused statistics must not change plans"
+
+
+@pytest.mark.catalog
+def test_cold_pass_already_shares_within_the_night(tmp_path):
+    # the first night is not fully cold either: workflows later in the
+    # batch reuse what earlier ones observed minutes before
+    catalog = StatisticsCatalog(tmp_path / "fleet.json")
+    _, first_night_hits, _ = nightly_pass(catalog, "night1")
+    assert first_night_hits > 0
+
+
+@pytest.mark.catalog
+def test_fleet_plan_matches_catalog_coverage(tmp_path):
+    # after a full warm catalog, the fleet planner schedules zero
+    # observations for the whole suite
+    catalog = StatisticsCatalog(tmp_path / "fleet.json")
+    nightly_pass(catalog, "night1")
+    fleet = plan_fleet(
+        [wfcase.build() for wfcase in suite()], catalog=catalog
+    )
+    assert fleet.unique_observations == 0
+    assert fleet.total_planned_cost == 0.0
+    assert fleet.total_standalone_cost > 0.0

@@ -123,6 +123,53 @@ class TestExternalStatistics:
         )
         assert all(s.is_cardinality for s in free)
 
+    def test_greedy_and_ilp_exploit_free_statistics_identically(
+        self, star_setup
+    ):
+        """Zero-cost statistics shift both solvers the same way.
+
+        The catalog's reuse guarantee rests on this: whichever solver a
+        pipeline uses, handing it free statistics must yield a valid
+        selection whose *paid* statistics carry the whole residual cost,
+        with every free statistic always picked (paper Section 6.2)."""
+        from repro.core.greedy import solve_greedy
+
+        wfcase, workflow, analysis, catalog, cost_model = star_setup
+        sources = wfcase.tables(scale=0.2, seed=9)
+        free, _values = harvest_source_statistics(sources)
+        problem = build_problem(catalog, cost_model, free_statistics=free)
+        baseline = build_problem(catalog, cost_model)
+        solvers = [solve_ilp, solve_greedy]
+        for solve in solvers:
+            result = solve(problem)
+            assert result.is_valid
+            # free statistics never make a solver worse
+            assert result.total_cost <= solve(baseline).total_cost
+            # a picked free statistic costs exactly zero...
+            for stat in free & set(result.observed):
+                assert problem.costs[problem.index[stat]] == 0.0
+            # ...so the total counts only the paid remainder: a free
+            # statistic never double-counts into the observation memory
+            paid = [s for s in result.observed if s not in free]
+            assert result.total_cost == pytest.approx(
+                sum(problem.costs[problem.index[s]] for s in paid)
+            )
+            # the source cardinalities are free and always exploited
+            assert any(s in free for s in result.observed)
+
+    def test_all_free_makes_selection_cost_zero(self, star_setup):
+        """When the free set covers an optimum, both solvers find cost 0."""
+        from repro.core.greedy import solve_greedy
+
+        _case, workflow, analysis, catalog, cost_model = star_setup
+        optimal = solve_ilp(build_problem(catalog, cost_model))
+        free = set(optimal.observed)
+        problem = build_problem(catalog, cost_model, free_statistics=free)
+        for result in (solve_ilp(problem), solve_greedy(problem)):
+            assert result.is_valid
+            assert result.total_cost == 0.0
+            assert set(result.observed) == free
+
     def test_free_statistics_usable_by_estimator(self, star_setup):
         """End to end: source stats reduce observation, estimates stay exact."""
         wfcase, workflow, analysis, catalog, cost_model = star_setup

@@ -341,3 +341,100 @@ class TestSessionResilience:
         assert record.degraded
         assert record.drift > 0.05
         assert record.reoptimized
+
+
+class TestConfidenceLadder:
+    """The degraded-fallback ladder with the statistics catalog on it."""
+
+    def test_weakest_confidence_orders_the_ladder(self):
+        from repro.framework.recovery import (
+            CONFIDENCE_ORDER,
+            weakest_confidence,
+        )
+
+        assert CONFIDENCE_ORDER == (
+            "observed", "catalog", "prior", "independence", "none",
+        )
+        assert weakest_confidence([]) == "observed"
+        assert weakest_confidence(["observed", "catalog"]) == "catalog"
+        assert weakest_confidence(["catalog", "prior"]) == "prior"
+        assert weakest_confidence(["prior", "none"]) == "none"
+
+    def test_sources_record_which_rung_satisfied_each_se(self):
+        from repro.catalog import StatisticsCatalog
+
+        catalog = StatisticsCatalog()
+        pipeline = StatisticsPipeline(case(WORKFLOW).build())
+        pipeline.run_once(_sources(), stats_catalog=catalog)
+        report = pipeline.run_once(
+            _sources(),
+            stats_catalog=catalog,
+            faults=_permanent("B2"),
+            retry=FAST,
+        )
+        assert report.degraded["B2"] == "catalog"
+        assert report.plans["B2"].confidence == "catalog"
+        # per-SE provenance: every gap of B2 was filled from the catalog
+        assert "B2" in report.degraded_sources
+        per_se = report.degraded_sources["B2"]
+        assert per_se and set(per_se.values()) == {"catalog"}
+        # the warm run tapped nothing, so on a failure night *every*
+        # block's estimates trace back to the catalog -- the provenance
+        # map says so explicitly
+        for block_sources in report.degraded_sources.values():
+            assert set(block_sources.values()) == {"catalog"}
+        assert "[catalog]" in report.describe()
+
+    def test_catalog_outranks_prior_by_default(self):
+        from repro.catalog import StatisticsCatalog
+
+        catalog = StatisticsCatalog()
+        pipeline = StatisticsPipeline(case(WORKFLOW).build())
+        healthy = pipeline.run_once(_sources(), stats_catalog=catalog)
+        report = pipeline.run_once(
+            _sources(),
+            stats_catalog=catalog,
+            prior_statistics=healthy.run.observations,
+            faults=_permanent("B2"),
+            retry=FAST,
+        )
+        assert report.degraded["B2"] == "catalog"
+
+    def test_fresher_prior_outranks_the_catalog(self):
+        import time
+
+        from repro.catalog import StatisticsCatalog
+
+        catalog = StatisticsCatalog()
+        pipeline = StatisticsPipeline(case(WORKFLOW).build())
+        healthy = pipeline.run_once(_sources(), stats_catalog=catalog)
+        report = pipeline.run_once(
+            _sources(),
+            stats_catalog=catalog,
+            prior_statistics=healthy.run.observations,
+            prior_observed_at=time.time() + 3600,  # prior file is newer
+            faults=_permanent("B2"),
+            retry=FAST,
+        )
+        assert report.degraded["B2"] == "prior"
+
+    def test_degraded_cardinalities_returns_per_se_sources(self):
+        """Direct unit coverage of the three-tuple contract."""
+        from repro.framework.recovery import degraded_cardinalities
+
+        pipeline = StatisticsPipeline(case(WORKFLOW).build())
+        report = pipeline.run_once(
+            _sources(), faults=_permanent("B2"), retry=FAST
+        )
+        cards, confidence, sources = degraded_cardinalities(
+            report.analysis,
+            report.run,
+            report.catalog,
+            report.estimator,
+        )
+        assert set(confidence) == set(sources)
+        for block, per_se in sources.items():
+            labels = set(per_se.values())
+            from repro.framework.recovery import weakest_confidence
+
+            assert confidence[block] == weakest_confidence(labels)

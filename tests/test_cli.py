@@ -272,3 +272,119 @@ class TestIdentifyBudget:
         assert main(["identify", wf_json, "--budget", "100000"]) == 0
         out = capsys.readouterr().out
         assert "1 execution(s)" in out
+
+
+class TestCatalogCommands:
+    def _run(self, tmp_path, extra=()):
+        catalog = str(tmp_path / "catalog.json")
+        code = main(["run", "--number", "11", "--solver", "greedy",
+                     "--catalog", catalog, *extra])
+        return code, catalog
+
+    def test_run_populates_and_reuses_catalog(self, tmp_path, capsys):
+        code, catalog = self._run(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "observed fresh" in out
+        assert "reconcile" in out
+
+        code, _ = self._run(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reused at zero cost" in out
+        assert "0 observed fresh" in out
+
+    def test_identify_with_catalog_is_zero_cost(self, tmp_path, capsys):
+        self._run(tmp_path)
+        capsys.readouterr()
+        assert main(["export", "--number", "11"]) == 0
+        wf_path = tmp_path / "wf11.json"
+        wf_path.write_text(capsys.readouterr().out)
+        assert main(["identify", str(wf_path), "--catalog",
+                     str(tmp_path / "catalog.json")]) == 0
+        out = capsys.readouterr().out
+        assert "already available at zero cost" in out
+        assert "cost=0 (" in out
+
+    def test_show_and_gc(self, tmp_path, capsys):
+        _, catalog = self._run(tmp_path)
+        capsys.readouterr()
+        assert main(["catalog", "show", catalog]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "q=1.00" in out
+        assert main(["catalog", "gc", catalog]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_export_import_round_trip(self, tmp_path, capsys):
+        _, catalog = self._run(tmp_path)
+        capsys.readouterr()
+        assert main(["catalog", "export", catalog]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"]
+
+        merged = str(tmp_path / "merged.json")
+        assert main(["catalog", "import", merged, catalog]) == 0
+        assert "imported" in capsys.readouterr().out
+        assert main(["catalog", "show", merged]) == 0
+        capsys.readouterr()
+
+    def test_import_signs_a_stats_file(self, tmp_path, capsys):
+        stats = str(tmp_path / "stats.json")
+        assert main(["run", "--number", "11", "--save-stats", stats]) == 0
+        capsys.readouterr()
+        catalog = str(tmp_path / "signed.json")
+        assert main(["catalog", "import", catalog,
+                     "--stats", stats, "--number", "11"]) == 0
+        assert "imported" in capsys.readouterr().out
+        assert main(["catalog", "show", catalog]) == 0
+        assert "import" in capsys.readouterr().out
+
+    def test_plan_fleet(self, tmp_path, capsys):
+        _, catalog = self._run(tmp_path)
+        capsys.readouterr()
+        assert main(["catalog", "plan-fleet", catalog,
+                     "--numbers", "11", "12", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet plan" in out
+        assert "standalone" in out
+        assert "wf11" in out and "wf13" in out
+
+    def test_plan_fleet_without_catalog(self, capsys):
+        assert main(["catalog", "plan-fleet",
+                     "--numbers", "11", "12"]) == 0
+        assert "fleet plan" in capsys.readouterr().out
+    def test_missing_catalog_file_is_an_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["catalog", "show", missing]) == 2
+        assert "not found" in capsys.readouterr().err
+        assert main(["catalog", "gc", missing]) == 2
+        capsys.readouterr()
+        assert main(["catalog", "export", missing]) == 2
+        capsys.readouterr()
+        assert main(["catalog", "import",
+                     str(tmp_path / "dest.json"), missing]) == 2
+        capsys.readouterr()
+
+
+class TestDeterministicExport:
+    def test_export_json_is_stable_and_sorted(self, capsys):
+        assert main(["export", "--number", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["export", "--number", "9"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        doc = json.loads(first)
+        assert first.strip() == json.dumps(doc, indent=2, sort_keys=True)
+
+    def test_saved_stats_file_is_deterministic(self, tmp_path, capsys):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        for path in (a, b):
+            assert main(["run", "--number", "9", "--solver", "greedy",
+                         "--save-stats", path]) == 0
+            capsys.readouterr()
+        from pathlib import Path
+
+        assert Path(a).read_text() == Path(b).read_text()
+        doc = json.loads(Path(a).read_text())
+        assert Path(a).read_text() == json.dumps(doc, indent=1, sort_keys=True)
+

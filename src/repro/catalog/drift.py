@@ -86,6 +86,7 @@ def reconcile_run(
     backend: str = "",
     threshold: float = DEFAULT_DRIFT_THRESHOLD,
     now: float | None = None,
+    metrics=None,
 ) -> DriftReport:
     """Fold one completed run back into the catalog.
 
@@ -94,6 +95,11 @@ def reconcile_run(
     that were actually instrumented tonight (catalog-covered statistics
     are *not* tapped, which is the whole point — their entries are
     validated through the drift scan instead).
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) receives
+    the reconcile counters -- entries admitted/refreshed, SEs drifted,
+    siblings marked stale -- and a histogram of the prediction errors the
+    drift scan measured, labelled by workflow.
     """
     now = time.time() if now is None else now
     report = DriftReport()
@@ -170,6 +176,30 @@ def reconcile_run(
             if sibling.key != card_key and sibling.key not in refreshed_keys
         ]
         report.stale_marked += catalog.mark_stale(siblings)
+
+    if metrics is not None:
+        labels = {"workflow": workflow} if workflow else {}
+        if report.added:
+            metrics.counter(
+                "catalog_entries_added_total", "statistics newly admitted"
+            ).inc(len(report.added), **labels)
+        if report.refreshed:
+            metrics.counter(
+                "catalog_entries_refreshed_total",
+                "entries overwritten by fresh observations",
+            ).inc(len(report.refreshed), **labels)
+        if report.drifted:
+            metrics.counter(
+                "catalog_drifted_total", "SEs whose prediction drifted"
+            ).inc(len(report.drifted), **labels)
+        if report.stale_marked:
+            metrics.counter(
+                "catalog_stale_marked_total",
+                "sibling entries forced to re-observation",
+            ).inc(report.stale_marked, **labels)
+        metrics.gauge(
+            "catalog_max_rel_error", "worst prediction error this reconcile"
+        ).set(report.max_rel_error, **labels)
 
     return report
 

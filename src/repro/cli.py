@@ -17,7 +17,11 @@ console script):
   the file exists, resumes from) a run checkpoint, ``--prior-stats
   stats.json`` backfills a failed block's estimates from a previous
   night's persisted statistics, and ``--save-stats stats.json`` persists
-  tonight's observations for exactly that purpose;
+  tonight's observations for exactly that purpose.  Observability:
+  ``--trace [trace.json]`` records a span tree for the run (rendered to
+  stdout; persisted when a path is given) and ``--metrics-out out.prom``
+  exports the run's metric series (Prometheus text for ``.prom`` /
+  ``.txt`` / ``.metrics`` suffixes, JSON otherwise);
 - ``suite [--number N]`` -- describe the built-in 30-workflow benchmark;
 - ``experiments <data|fig9|fig10|fig11|fig12>`` -- regenerate a Section 7
   table/figure and print it;
@@ -30,7 +34,10 @@ console script):
   garbage-collect expired/stale/low-quality entries, merge catalogs or
   sign a persisted statistics file into one, print the deterministic
   JSON document, or compute the combined nightly observation plan that
-  observes each statistic shared across suite workflows exactly once.
+  observes each statistic shared across suite workflows exactly once;
+- ``trace show <trace.json>`` -- render a persisted run trace as an
+  indented span tree, with the slowest blocks and the worst
+  estimated-vs-actual row errors summarized below it.
 
 ``run`` and ``identify`` accept ``--catalog CATALOG.JSON``: statistics
 already in the catalog enter selection at zero cost (Section 6.2) and are
@@ -38,8 +45,8 @@ consumed instead of re-observed; after a ``run`` the catalog is
 reconciled (drift-checked) and saved back.
 
 Operational errors -- an unknown workflow number, an unreadable or corrupt
-workflow/fault/checkpoint file, a bad backend name -- exit with a one-line
-message on stderr and status 2, never a traceback.
+workflow/fault/checkpoint/trace file, a bad backend name -- exit with a
+one-line message on stderr and status 1, never a traceback.
 """
 
 from __future__ import annotations
@@ -68,7 +75,7 @@ from repro.workloads import case, suite
 
 
 class CliError(Exception):
-    """An operational error reported as one line on stderr, exit status 2."""
+    """An operational error reported as one line on stderr, exit status 1."""
 
 
 def _load_workflow(path: str):
@@ -222,6 +229,17 @@ def _cmd_run(args) -> int:
             prior_observed_at = None
     stats_catalog = _open_catalog(args.catalog) if args.catalog else None
 
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    metrics = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+
     report = pipeline.run_once(
         sources,
         faults=faults,
@@ -231,6 +249,8 @@ def _cmd_run(args) -> int:
         prior_observed_at=prior_observed_at,
         stats_catalog=stats_catalog,
         run_id=f"wf{wfcase.number:02d}-seed{args.seed}",
+        tracer=tracer,
+        metrics=metrics,
     )
     total_in = sum(t.num_rows for t in sources.values())
     print(
@@ -255,6 +275,19 @@ def _cmd_run(args) -> int:
 
         save_statistics(report.run.observations, args.save_stats)
         print(f"statistics saved to {args.save_stats}")
+    if tracer is not None:
+        from repro.obs import render_trace, write_trace
+
+        print()
+        print(render_trace(tracer.root, top=args.top))
+        if args.trace:
+            write_trace(tracer, args.trace)
+            print(f"trace written to {args.trace}")
+    if metrics is not None:
+        from repro.obs import write_metrics
+
+        fmt = write_metrics(metrics, args.metrics_out)
+        print(f"metrics ({fmt}) written to {args.metrics_out}")
     if report.failures:
         print(
             f"degraded run: {len(report.failures)} task(s) failed or were "
@@ -399,6 +432,26 @@ def _cmd_catalog_plan_fleet(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# trace command group
+# ---------------------------------------------------------------------------
+
+
+def _cmd_trace_show(args) -> int:
+    from repro.obs import load_trace, render_trace
+
+    doc = load_trace(args.path)
+    header = []
+    if doc.workflow:
+        header.append(doc.workflow)
+    if doc.run_id:
+        header.append(f"run {doc.run_id}")
+    if header:
+        print(f"trace of {' '.join(header)} ({args.path})")
+    print(render_trace(doc.root, top=args.top, verbose=args.verbose))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-etl argument parser (exposed for shell-completion tools)."""
     parser = argparse.ArgumentParser(
@@ -503,6 +556,28 @@ def build_parser() -> argparse.ArgumentParser:
         "at zero cost instead of re-observed; the run reconciles "
         "(drift-checks) and saves the catalog afterwards",
     )
+    p.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="TRACE.JSON",
+        help="record a span tree for the run and render it; with a path, "
+        "also persist it for `repro-etl trace show`",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="OUT",
+        help="export the run's metric series here (Prometheus text for "
+        ".prom/.txt/.metrics suffixes, JSON otherwise)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="rows in the slowest-blocks / worst-estimates tables (--trace)",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("suite", help="describe the 30-workflow benchmark")
@@ -595,6 +670,25 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--solver", choices=("ilp", "greedy"), default="greedy")
     c.set_defaults(fn=_cmd_catalog_plan_fleet)
 
+    p = sub.add_parser("trace", help="inspect persisted run traces")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = trace_sub.add_parser(
+        "show", help="render a trace file as an indented span tree"
+    )
+    t.add_argument("path", help="trace file written by `run --trace`")
+    t.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="rows in the slowest-blocks / worst-estimates tables",
+    )
+    t.add_argument(
+        "--verbose", action="store_true",
+        help="show every operator point (no per-block elision)",
+    )
+    t.set_defaults(fn=_cmd_trace_show)
+
     return parser
 
 
@@ -605,7 +699,7 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except (CliError, FaultError, PersistenceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
 
 
 if __name__ == "__main__":

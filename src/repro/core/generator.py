@@ -132,6 +132,20 @@ class CssGenerator:
                     )
                     if not ke:
                         continue
+                    # soundness: dividing H_h by H_t3 on kg assumes t3
+                    # meets e = e1 U other on exactly the kg attributes.
+                    # a join edge between t3 and `other` on an attribute
+                    # outside kg adds a constraint the division (and the
+                    # reject complement) cannot see, so the pattern does
+                    # not apply; an edge on a kg attribute is already
+                    # accounted for by the per-group division
+                    extra = set(
+                        block.graph.crossing_key(
+                            t3.se.relations, other.se.relations
+                        )
+                    ) - set(g.key)
+                    if extra:
+                        continue
                     e = e1.se.union(other.se)
                     patterns.append(
                         _UDPattern(

@@ -106,6 +106,12 @@ class RunContext:
     ``lock`` serializes writes to the run-wide mutable maps when blocks
     execute on scheduler threads; ``state`` is backend scratch space
     (e.g. the streaming backend's claimed observation points).
+
+    ``tracer`` (optional) records an instant *operator point* for every
+    plan point a block materializes -- actual rows, the prior estimate
+    from ``estimates`` when one exists (previous cycle or catalog), and
+    whether a tap fired there.  Hot paths guard on ``tracer is None``,
+    so an untraced run pays one attribute load and branch per point.
     """
 
     run: WorkflowRun
@@ -113,18 +119,46 @@ class RunContext:
     kernels: Kernels
     lock: threading.Lock = field(default_factory=threading.Lock)
     state: dict = field(default_factory=dict)
+    tracer: Any = None
+    estimates: "dict[AnySE, float] | None" = None
 
     def note(self, se: AnySE, table: Table) -> None:
         """Record a plan point's size and fire the table-level taps."""
         with self.lock:
             self.run.se_sizes[se] = table.num_rows
             self.taps.observe(se, table)
+        if self.tracer is not None and self.tracer.enabled:
+            self.trace_point(se, table.num_rows)
 
     def note_reject(self, se: RejectSE, table: Table) -> None:
         with self.lock:
             self.run.rejects[se] = table
             self.run.se_sizes[se] = table.num_rows
             self.taps.observe(se, table)
+        if self.tracer is not None and self.tracer.enabled:
+            self.trace_point(se, table.num_rows, reject=True)
+
+    # -- tracing -------------------------------------------------------
+    def trace_point(self, se: AnySE, rows: int, **extra) -> None:
+        """One operator point under the executing task's span."""
+        attrs = {"rows": rows, **extra}
+        if self.estimates is not None:
+            estimate = self.estimates.get(se)
+            if estimate is not None:
+                attrs["estimated_rows"] = float(estimate)
+        wants = getattr(self.taps, "wants", None)
+        if wants is not None and wants(se):
+            attrs["tapped"] = True
+        self.tracer.point(repr(se), kind="operator", **attrs)
+
+    def trace_sizes(self, sizes: "dict[AnySE, int]") -> None:
+        """Operator points for backends that record sizes in bulk
+        (the streaming backend accumulates per-tuple counters and
+        publishes them once per block)."""
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        for se, rows in sizes.items():
+            self.trace_point(se, rows)
 
 
 class ExecutionBackend:
@@ -186,6 +220,9 @@ class BackendExecutor:
         faults=None,
         retry: RetryPolicy | None = None,
         checkpoint=None,
+        tracer=None,
+        trace_parent=None,
+        estimates: "dict[AnySE, float] | None" = None,
     ) -> WorkflowRun:
         """Execute the workflow.
 
@@ -208,9 +245,17 @@ class BackendExecutor:
           Blocks already recorded there are restored (output table,
           SE sizes, statistics) instead of re-executed, and every block
           that completes is persisted so a crashed run can resume.
+
+        Tracing (all optional): ``tracer`` records a span per scheduled
+        task under ``trace_parent`` plus an operator point per
+        materialized plan point; ``estimates`` maps SEs to prior row
+        predictions, annotated onto the matching operator points so a
+        trace exposes estimated-vs-actual rows.
         """
         from repro.engine.faults import as_injector
 
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         trees = trees or {}
         taps = taps if taps is not None else self.backend.make_taps(())
         injector = as_injector(faults)
@@ -218,12 +263,24 @@ class BackendExecutor:
             sources = injector.apply_sources(sources)
         self._check_sources(sources)
         run = WorkflowRun(env=dict(sources))
-        ctx = RunContext(run=run, taps=taps, kernels=self.backend.make_kernels())
+        ctx = RunContext(
+            run=run,
+            taps=taps,
+            kernels=self.backend.make_kernels(),
+            tracer=tracer,
+            estimates=estimates,
+        )
 
         resumed: set[str] = set()
         if checkpoint is not None:
             resumed = checkpoint.restore(self.analysis, run)
             run.resumed = tuple(sorted(resumed))
+            if tracer is not None:
+                for name in sorted(resumed):
+                    tracer.point(
+                        name, kind="resumed", parent=trace_parent,
+                        source="checkpoint",
+                    )
 
         tasks: list[Task] = []
         for block in self.analysis.blocks:
@@ -238,6 +295,7 @@ class BackendExecutor:
                         sorted({inp.base_name for inp in block.inputs.values()})
                     ),
                     fn=partial(self._run_block, block, tree, ctx, checkpoint),
+                    kind="block",
                 )
             )
         for boundary in self.analysis.boundaries:
@@ -247,6 +305,7 @@ class BackendExecutor:
                     provides=boundary.output_name,
                     requires=(boundary.input_name,),
                     fn=partial(self._run_boundary, boundary, ctx),
+                    kind="boundary",
                 )
             )
         if injector is not None:
@@ -258,7 +317,11 @@ class BackendExecutor:
 
         try:
             result = ParallelScheduler(self.workers).execute(
-                tasks, available=set(run.env), policy=policy
+                tasks,
+                available=set(run.env),
+                policy=policy,
+                tracer=tracer,
+                trace_parent=trace_parent,
             )
         except SchedulerError as exc:  # pragma: no cover - analysis emits a DAG
             raise TableError(

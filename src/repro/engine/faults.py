@@ -254,7 +254,11 @@ class FaultInjector:
             task.fn()
 
         return Task(
-            name=task.name, provides=task.provides, requires=task.requires, fn=fn
+            name=task.name,
+            provides=task.provides,
+            requires=task.requires,
+            fn=fn,
+            kind=task.kind,
         )
 
     def wrap_tasks(self, tasks: Sequence[Task]) -> list[Task]:

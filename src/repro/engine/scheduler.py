@@ -33,6 +33,14 @@ Entry points:
   walk, ``max_workers > 1`` uses ``concurrent.futures`` with greedy
   dispatch (a task starts the moment its inputs exist, not when its wave
   starts).  Without a policy, worker exceptions propagate unchanged.
+
+Tracing: ``execute`` accepts an optional
+:class:`~repro.obs.trace.Tracer`.  When enabled, every task gets a span
+(kind from ``Task.kind``) annotated with its outcome, attempt count and
+failure details, plus a ``retry`` point per failed attempt -- the span
+is the thread-local parent while the task function runs, so per-operator
+points emitted inside a block land under it.  With ``tracer=None``
+(the default) the scheduler's hot path is exactly the untraced walk.
 """
 
 from __future__ import annotations
@@ -157,12 +165,17 @@ class ScheduleResult:
 
 @dataclass(frozen=True)
 class Task:
-    """One schedulable unit: produce ``provides`` once ``requires`` exist."""
+    """One schedulable unit: produce ``provides`` once ``requires`` exist.
+
+    ``kind`` only classifies the task's trace span (``"block"``,
+    ``"boundary"``, ...); the scheduler itself treats all tasks alike.
+    """
 
     name: str
     provides: str
     requires: tuple[str, ...]
     fn: Callable[[], None]
+    kind: str = "task"
 
 
 def topological_waves(
@@ -202,6 +215,8 @@ class ParallelScheduler:
         tasks: Sequence[Task],
         available: Iterable[str] = (),
         policy: RetryPolicy | None = None,
+        tracer=None,
+        trace_parent=None,
     ) -> ScheduleResult:
         """Run every task exactly once, honouring ``requires``/``provides``.
 
@@ -215,16 +230,38 @@ class ParallelScheduler:
         the returned :class:`ScheduleResult`; tasks whose requirements
         were produced by a failed task are recorded as ``skipped`` and the
         rest of the graph still executes.
+
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records one span
+        per task under ``trace_parent``, annotated with outcome, attempts
+        and failure details; skipped tasks become instant points.
         """
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         if self.max_workers <= 1:
-            return self._execute_serial(tasks, set(available), policy)
-        return self._execute_parallel(tasks, set(available), policy)
+            result = self._execute_serial(
+                tasks, set(available), policy, tracer, trace_parent
+            )
+        else:
+            result = self._execute_parallel(
+                tasks, set(available), policy, tracer, trace_parent
+            )
+        if tracer is not None:
+            for failure in result.failures.values():
+                if failure.kind == "skipped":
+                    tracer.point(
+                        failure.task,
+                        kind="skipped",
+                        parent=trace_parent,
+                        missing=list(failure.missing),
+                    )
+        return result
 
     # ------------------------------------------------------------------
     # attempt loop (shared by serial and parallel modes)
     # ------------------------------------------------------------------
     @staticmethod
-    def _run_attempt(task: Task, policy: RetryPolicy) -> None:
+    def _run_attempt(task: Task, policy: RetryPolicy, tracer=None,
+                     span=None) -> None:
         """One attempt, bounded by the policy's deadline if it has one."""
         if policy.block_timeout is None:
             task.fn()
@@ -234,7 +271,13 @@ class ParallelScheduler:
 
         def runner() -> None:
             try:
-                task.fn()
+                # the attempt runs on its own thread: re-activate the task
+                # span there so operator points parent correctly
+                if tracer is not None and span is not None:
+                    with tracer.activate(span):
+                        task.fn()
+                else:
+                    task.fn()
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 outcome.append(exc)
             finally:
@@ -253,7 +296,9 @@ class ParallelScheduler:
             raise outcome[0]
 
     @classmethod
-    def _run_with_retries(cls, task: Task, policy: RetryPolicy) -> RunFailure | None:
+    def _run_with_retries(
+        cls, task: Task, policy: RetryPolicy, tracer=None, span=None
+    ) -> RunFailure | None:
         """Attempt ``task`` until success or budget exhaustion."""
         rng = policy.rng_for(task.name)
         start = time.perf_counter()
@@ -261,7 +306,9 @@ class ParallelScheduler:
         while True:
             attempts += 1
             try:
-                cls._run_attempt(task, policy)
+                cls._run_attempt(task, policy, tracer, span)
+                if span is not None and attempts > 1:
+                    span.annotate(attempts=attempts, retried=True)
                 return None
             except Exception as exc:  # noqa: BLE001 - classified below
                 timed_out = isinstance(exc, BlockTimeout)
@@ -276,7 +323,58 @@ class ParallelScheduler:
                         attempts=attempts,
                         elapsed=time.perf_counter() - start,
                     )
+                if tracer is not None:
+                    tracer.point(
+                        "retry",
+                        kind="retry",
+                        parent=span,
+                        attempt=attempts,
+                        failure_kind=kind,
+                        error=str(exc),
+                    )
                 policy.sleep(policy.backoff(attempts - 1, rng))
+
+    def _run_task(
+        self,
+        task: Task,
+        policy: RetryPolicy | None,
+        tracer=None,
+        trace_parent=None,
+    ) -> RunFailure | None:
+        """One task, traced when a tracer is armed.
+
+        Runs on the calling thread (serial mode) or a pool thread
+        (parallel mode); either way the span is opened on the executing
+        thread, so it is the thread-local parent for everything the task
+        function records.
+        """
+        if tracer is None:
+            if policy is None:
+                task.fn()
+                return None
+            return self._run_with_retries(task, policy)
+        span = tracer.start(task.name, kind=task.kind, parent=trace_parent)
+        try:
+            if policy is None:
+                task.fn()
+                failure = None
+            else:
+                failure = self._run_with_retries(task, policy, tracer, span)
+        except BaseException as exc:
+            tracer.end(
+                span, outcome="error", error=f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        if failure is None:
+            tracer.end(span, outcome="ok")
+        else:
+            tracer.end(
+                span,
+                outcome=failure.kind,
+                error=failure.error,
+                attempts=failure.attempts,
+            )
+        return failure
 
     @staticmethod
     def _skip_dependents(
@@ -309,7 +407,12 @@ class ParallelScheduler:
 
     # ------------------------------------------------------------------
     def _execute_serial(
-        self, tasks: Sequence[Task], done: set[str], policy: RetryPolicy | None
+        self,
+        tasks: Sequence[Task],
+        done: set[str],
+        policy: RetryPolicy | None,
+        tracer=None,
+        trace_parent=None,
     ) -> ScheduleResult:
         result = ScheduleResult()
         failed_provides: dict[str, str] = {}
@@ -320,11 +423,7 @@ class ParallelScheduler:
             progressed = not pending
             for task in list(pending):
                 if all(r in done for r in task.requires):
-                    if policy is None:
-                        task.fn()
-                        failure = None
-                    else:
-                        failure = self._run_with_retries(task, policy)
+                    failure = self._run_task(task, policy, tracer, trace_parent)
                     if failure is None:
                         done.add(task.provides)
                         result.completed.append(task.name)
@@ -341,7 +440,12 @@ class ParallelScheduler:
         return result
 
     def _execute_parallel(
-        self, tasks: Sequence[Task], done: set[str], policy: RetryPolicy | None
+        self,
+        tasks: Sequence[Task],
+        done: set[str],
+        policy: RetryPolicy | None,
+        tracer=None,
+        trace_parent=None,
     ) -> ScheduleResult:
         result = ScheduleResult()
         failed_provides: dict[str, str] = {}
@@ -354,12 +458,12 @@ class ParallelScheduler:
                 for task in list(pending):
                     if all(r in done for r in task.requires):
                         pending.remove(task)
-                        if policy is None:
-                            running[pool.submit(task.fn)] = task
-                        else:
-                            running[
-                                pool.submit(self._run_with_retries, task, policy)
-                            ] = task
+                        running[
+                            pool.submit(
+                                self._run_task, task, policy, tracer,
+                                trace_parent,
+                            )
+                        ] = task
                 if not running:
                     if not pending:
                         break
@@ -370,11 +474,7 @@ class ParallelScheduler:
                 finished, _ = wait(running, return_when=FIRST_COMPLETED)
                 for future in finished:
                     task = running.pop(future)
-                    if policy is None:
-                        future.result()  # propagate worker exceptions
-                        failure = None
-                    else:
-                        failure = future.result()
+                    failure = future.result()  # propagates untraced errors
                     if failure is None:
                         done.add(task.provides)
                         result.completed.append(task.name)

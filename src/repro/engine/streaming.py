@@ -288,6 +288,7 @@ class StreamingBackend(ExecutionBackend):
         with ctx.lock:
             run.se_sizes.update(post_sizes)
             run.se_sizes.update(counts)
+        ctx.trace_sizes({**counts, **post_sizes})
         return table
 
     def _note_reject(
@@ -306,6 +307,8 @@ class StreamingBackend(ExecutionBackend):
         ctx.taps.mark_streamed(rej)  # the join completed; zero rejects is real
         for row in rows:
             ctx.taps.observe_row(rej, row)
+        if ctx.tracer is not None and ctx.tracer.enabled:
+            ctx.trace_point(rej, table.num_rows, reject=True)
 
 
 class StreamExecutor(BackendExecutor):

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.algebra.blocks import BlockAnalysis, analyze, with_plans
 from repro.algebra.operators import Workflow
@@ -52,6 +53,13 @@ class PipelineReport:
     tonight (catalog-covered ones are consumed at zero cost instead of
     being re-observed — ``catalog_hits`` counts them) and ``drift`` holds
     the reconciliation report.
+
+    A traced cycle (``run_once(tracer=...)``) carries the tracer in
+    ``trace``: ``trace.root`` is the span tree covering enumeration,
+    selection, every executed block with its operator points, catalog
+    reconciliation and re-optimization, so tests and benchmarks assert
+    on spans instead of scraping stdout.  ``trace`` is ``None`` for an
+    untraced run.
     """
 
     analysis: BlockAnalysis
@@ -67,6 +75,7 @@ class PipelineReport:
     tapped: list[Statistic] = field(default_factory=list)
     catalog_hits: int = 0
     drift: "object | None" = None  # DriftReport when a catalog was given
+    trace: "object | None" = None  # Tracer when run_once(tracer=...) was given
 
     @property
     def ok(self) -> bool:
@@ -140,6 +149,10 @@ class StatisticsPipeline:
     cpu_weight: float = 0.0
     backend: str = "columnar"  # any name get_backend() resolves
     workers: int = 1  # > 1 executes independent blocks concurrently
+    #: monotonic clock behind ``PipelineReport.timings`` (and the default
+    #: span clock) -- injectable so tests assert exact, deterministic
+    #: durations instead of sleeping
+    clock: Callable[[], float] = time.perf_counter
 
     def __post_init__(self) -> None:
         if self.executor != "columnar" and self.backend == "columnar":
@@ -179,6 +192,8 @@ class StatisticsPipeline:
         stats_catalog=None,
         run_id: str = "",
         drift_threshold: float | None = None,
+        tracer=None,
+        metrics=None,
     ) -> PipelineReport:
         """One full observe-and-optimize cycle.
 
@@ -211,72 +226,148 @@ class StatisticsPipeline:
         ``prior_observed_at`` (e.g. the mtime of a ``--prior-stats``
         file) lets the degraded fallback prefer the fresher of the prior
         store and the catalog.
+
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records the whole
+        cycle as a span tree -- enumeration, selection, one span per
+        executed block with per-operator points (estimated-vs-actual rows
+        where a prior prediction exists), catalog reconcile, optimization
+        -- surfaced as ``PipelineReport.trace``.  ``metrics`` (a
+        :class:`~repro.obs.metrics.MetricsRegistry`) receives the
+        standard run series via
+        :func:`~repro.obs.record.record_run_metrics`.  Both default to
+        off and cost nothing when off.
         """
+        from repro.obs.trace import as_tracer
+
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        tr = as_tracer(tracer)
         timings: dict[str, float] = {}
+        clock = self.clock
 
-        if trees:
-            analysis = with_plans(self.analysis, trees)
-            catalog = generate_css(analysis, self.generator_options)
-        else:
-            analysis, catalog = self.analysis, self.catalog
+        t0 = clock()
+        with tr.span("enumerate") as enum_span:
+            if trees:
+                analysis = with_plans(self.analysis, trees)
+                catalog = generate_css(analysis, self.generator_options)
+            else:
+                analysis, catalog = self.analysis, self.catalog
+            if tracer is not None:
+                counts = catalog.counts()
+                enum_span.annotate(
+                    blocks=len(analysis.blocks),
+                    statistics=counts["statistics"],
+                    css=counts["css"],
+                    required=counts["required"],
+                )
+        timings["enumerate"] = clock() - t0
 
-        t0 = time.perf_counter()
+        t0 = clock()
         signer = None
         hits = None
         free = set(self.free_statistics)
-        if stats_catalog is not None:
-            from repro.catalog.signatures import WorkflowSigner
+        with tr.span("selection") as sel_span:
+            if stats_catalog is not None:
+                from repro.catalog.signatures import WorkflowSigner
 
-            signer = WorkflowSigner(analysis)
-            hits = stats_catalog.lookup(signer, catalog.all_statistics)
-            free |= hits.free
-        problem = build_problem(catalog, self.cost_model(), free_statistics=free)
-        selection = (
-            solve_greedy(problem) if self.solver == "greedy" else solve_ilp(problem)
-        )
-        # catalog-covered statistics are consumed, never re-observed:
-        # they are dropped from the instrumented set, which is where the
-        # fleet-wide observation savings materialize
-        tapped = [
-            stat
-            for stat in selection.observed
-            if hits is None or stat not in hits.free
-        ]
-        timings["selection"] = time.perf_counter() - t0
+                signer = WorkflowSigner(analysis)
+                hits = stats_catalog.lookup(signer, catalog.all_statistics)
+                free |= hits.free
+            problem = build_problem(
+                catalog, self.cost_model(), free_statistics=free
+            )
+            selection = (
+                solve_greedy(problem)
+                if self.solver == "greedy"
+                else solve_ilp(problem)
+            )
+            # catalog-covered statistics are consumed, never re-observed:
+            # they are dropped from the instrumented set, which is where the
+            # fleet-wide observation savings materialize
+            tapped = [
+                stat
+                for stat in selection.observed
+                if hits is None or stat not in hits.free
+            ]
+            sel_span.annotate(
+                method=selection.method,
+                observed=len(selection.observed_indexes),
+                cost=selection.total_cost,
+                tapped=len(tapped),
+                catalog_hits=len(selection.observed) - len(tapped),
+            )
+        timings["selection"] = clock() - t0
 
-        t0 = time.perf_counter()
+        # prior row predictions, for estimated-vs-actual trace annotations:
+        # the previous cycle's materialized sizes, overlaid with tonight's
+        # catalog cardinalities (both are what the optimizer believed)
+        estimates = None
+        if tracer is not None:
+            estimates = dict(self._se_sizes)
+            if hits is not None:
+                estimates.update(
+                    {
+                        stat.se: float(value)
+                        for stat, value in hits.values.items()
+                        if stat.is_cardinality
+                    }
+                )
+
+        t0 = clock()
         backend = get_backend(self.backend)
         taps = backend.make_taps(tapped)
-        run = BackendExecutor(analysis, backend, workers=self.workers).run(
-            sources, taps=taps, faults=faults, retry=retry, checkpoint=checkpoint
-        )
-        timings["execution"] = time.perf_counter() - t0
+        with tr.span("execution", backend=self.backend,
+                     workers=self.workers) as exec_span:
+            run = BackendExecutor(analysis, backend, workers=self.workers).run(
+                sources,
+                taps=taps,
+                faults=faults,
+                retry=retry,
+                checkpoint=checkpoint,
+                tracer=tracer,
+                trace_parent=exec_span if tracer is not None else None,
+                estimates=estimates,
+            )
+            exec_span.annotate(
+                failures=len(run.failures), resumed=len(run.resumed)
+            )
+        timings["execution"] = clock() - t0
         self._se_sizes = dict(run.se_sizes)  # feeds next cycle's CPU costs
 
         drift = None
         if stats_catalog is not None:
             from repro.catalog.drift import reconcile_run
 
-            t0 = time.perf_counter()
+            t0 = clock()
             kwargs = {} if drift_threshold is None else {
                 "threshold": drift_threshold
             }
-            drift = reconcile_run(
-                stats_catalog,
-                signer,
-                run.observations,
-                run.se_sizes,
-                tapped,
-                workflow=analysis.workflow.name,
-                run_id=run_id,
-                backend=self.backend,
-                **kwargs,
-            )
-            if stats_catalog.path is not None:
-                stats_catalog.save()
-            timings["reconcile"] = time.perf_counter() - t0
+            with tr.span("reconcile") as rec_span:
+                drift = reconcile_run(
+                    stats_catalog,
+                    signer,
+                    run.observations,
+                    run.se_sizes,
+                    tapped,
+                    workflow=analysis.workflow.name,
+                    run_id=run_id,
+                    backend=self.backend,
+                    metrics=metrics,
+                    **kwargs,
+                )
+                if stats_catalog.path is not None:
+                    stats_catalog.save()
+                rec_span.annotate(
+                    added=len(drift.added),
+                    refreshed=len(drift.refreshed),
+                    drifted=len(drift.drifted),
+                    stale_marked=drift.stale_marked,
+                    max_rel_error=drift.max_rel_error,
+                )
+            timings["reconcile"] = clock() - t0
 
-        t0 = time.perf_counter()
+        t0 = clock()
+        opt_span = tr.start("optimization")
         effective = run.observations
         if hits is not None and len(hits.values):
             effective = run.observations.copy()
@@ -321,9 +412,14 @@ class StatisticsPipeline:
             plans = PlanOptimizer(
                 analysis, estimator.all_cardinalities(), metric=self.cost_metric
             ).optimize()
-        timings["optimization"] = time.perf_counter() - t0
+        tr.end(
+            opt_span,
+            improved=sum(1 for p in plans.values() if p.improved),
+            degraded=len(degraded),
+        )
+        timings["optimization"] = clock() - t0
 
-        return PipelineReport(
+        report = PipelineReport(
             analysis=analysis,
             catalog=catalog,
             selection=selection,
@@ -337,4 +433,23 @@ class StatisticsPipeline:
             tapped=tapped,
             catalog_hits=len(selection.observed) - len(tapped),
             drift=drift,
+            trace=tracer,
         )
+        if tracer is not None:
+            tracer.finish(
+                workflow=analysis.workflow.name,
+                run_id=run_id,
+                backend=self.backend,
+                workers=self.workers,
+                ok=report.ok,
+            )
+        if metrics is not None:
+            from repro.obs.record import record_run_metrics
+
+            record_run_metrics(
+                metrics,
+                report,
+                workflow=analysis.workflow.name,
+                backend=self.backend,
+            )
+        return report

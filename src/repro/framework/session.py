@@ -69,6 +69,15 @@ class EtlSession:
     instead of re-observed, each completed run reconciles (and persists)
     the catalog, and runs of *other* workflows sharing the same catalog
     file inherit tonight's observations.
+
+    Observability: ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) aggregates the standard
+    run series across every run of the session -- several sessions may
+    share one registry, which is how a fleet exports one scrape surface.
+    ``tracing=True`` gives every run a fresh
+    :class:`~repro.obs.trace.Tracer` (clocked by the pipeline's
+    injectable ``clock``), surfaced as ``record.report.trace``.  Both
+    default to off and cost nothing when off.
     """
 
     pipeline: StatisticsPipeline
@@ -82,6 +91,8 @@ class EtlSession:
     retry: RetryPolicy | None = None  # scheduler policy for every run
     faults: "FaultPlan | None" = None  # chaos sessions (tests/benchmarks)
     stats_catalog: "object | None" = None  # shared StatisticsCatalog
+    metrics: "object | None" = None  # shared MetricsRegistry
+    tracing: bool = False  # span tree per run, on record.report.trace
     _prior_observations: StatisticsStore | None = None
 
     def __post_init__(self) -> None:
@@ -97,6 +108,11 @@ class EtlSession:
         """Execute one load with the current plans; maybe re-optimize."""
         index = len(self.history)
         executed = dict(self._current_trees or {})
+        tracer = None
+        if self.tracing:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer(clock=self.pipeline.clock)
         report = self.pipeline.run_once(
             sources,
             trees=self._current_trees,
@@ -105,6 +121,8 @@ class EtlSession:
             prior_statistics=self._prior_observations,
             stats_catalog=self.stats_catalog,
             run_id=f"run{index}",
+            tracer=tracer,
+            metrics=self.metrics,
         )
         self._retain_observations(report)
 

@@ -1,0 +1,161 @@
+"""Exporters and loaders for traces and metrics.
+
+Both artifact families ride on the persistence conventions every other
+document in this repository follows (:mod:`repro.core.persistence`):
+atomic rename-into-place writes, sorted keys for byte-stable diffs, a
+``format_version`` field, and validating loaders that raise a one-line
+:class:`~repro.core.persistence.PersistenceError` for missing, corrupt or
+future-versioned files instead of a traceback deep in a renderer.
+
+- traces   -> JSON (``write_trace`` / ``load_trace``), the document the
+  ``repro-etl trace show`` command renders;
+- metrics  -> JSON (``write_metrics_json``) or the Prometheus text
+  exposition format (``write_metrics_prometheus``), picked by file
+  extension in :func:`write_metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.persistence import PersistenceError, atomic_write_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE_FORMAT_VERSION, Span, Tracer
+
+#: metrics file suffixes rendered as Prometheus text instead of JSON
+PROMETHEUS_SUFFIXES = (".prom", ".txt", ".metrics")
+
+
+@dataclass
+class TraceDocument:
+    """A loaded trace: the span tree plus its document metadata."""
+
+    root: Span
+    started_at: float = 0.0
+    attrs: dict | None = None
+
+    @property
+    def workflow(self) -> str:
+        return str(self.root.attrs.get("workflow", ""))
+
+    @property
+    def run_id(self) -> str:
+        return str(self.root.attrs.get("run_id", ""))
+
+
+def trace_to_dict(trace: "Tracer | Span") -> dict:
+    """The exportable document for a tracer or a bare span tree."""
+    if isinstance(trace, Tracer):
+        return trace.to_dict()
+    return {
+        "format_version": TRACE_FORMAT_VERSION,
+        "kind": "trace",
+        "started_at": 0.0,
+        "root": trace.to_dict(),
+    }
+
+
+def write_trace(trace: "Tracer | Span", path: str | Path) -> None:
+    """Persist a trace document atomically (sorted keys, rename in place)."""
+    atomic_write_json(trace_to_dict(trace), path)
+
+
+def _load_document(path: str | Path, kind: str, version: int) -> dict:
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {kind} file {path}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"invalid {kind} file {path}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise PersistenceError(
+            f"corrupt {kind} document: expected a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+    got = doc.get("format_version")
+    if not isinstance(got, int) or not 1 <= got <= version:
+        raise PersistenceError(
+            f"{kind} document has unsupported format_version {got!r}; "
+            f"this build reads versions 1..{version}"
+        )
+    if doc.get("kind", kind) != kind:
+        raise PersistenceError(
+            f"{path} is a {doc.get('kind')!r} document, not a {kind}"
+        )
+    return doc
+
+
+def load_trace(path: str | Path) -> TraceDocument:
+    """Load and shape-check a persisted trace document."""
+    doc = _load_document(path, "trace", TRACE_FORMAT_VERSION)
+    if "root" not in doc:
+        raise PersistenceError(f"corrupt trace document {path}: no root span")
+    root = Span.from_dict(doc["root"])
+    return TraceDocument(
+        root=root,
+        started_at=float(doc.get("started_at", 0.0)),
+        attrs=dict(root.attrs),
+    )
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str | Path) -> None:
+    """Persist the versioned JSON metrics document atomically."""
+    atomic_write_json(registry.to_dict(), path)
+
+
+def _atomic_write_text(text: str, path: str | Path) -> None:
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_metrics_prometheus(registry: MetricsRegistry, path: str | Path) -> None:
+    """Persist the Prometheus text exposition rendering atomically."""
+    _atomic_write_text(registry.render_prometheus(), path)
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> str:
+    """Write metrics in the format the file extension implies.
+
+    ``.prom`` / ``.txt`` / ``.metrics`` get the Prometheus text format,
+    anything else the JSON document.  Returns the format written.
+    """
+    if Path(path).suffix in PROMETHEUS_SUFFIXES:
+        write_metrics_prometheus(registry, path)
+        return "prometheus"
+    write_metrics_json(registry, path)
+    return "json"
+
+
+__all__ = [
+    "PROMETHEUS_SUFFIXES",
+    "TraceDocument",
+    "load_trace",
+    "trace_to_dict",
+    "write_metrics",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+    "write_trace",
+]

@@ -1,0 +1,101 @@
+"""Standard metric names, recorded from one pipeline report.
+
+One place defines what the framework exports, so the single-run CLI path
+(``repro-etl run --metrics-out``) and the multi-run
+:class:`~repro.framework.session.EtlSession` aggregate the *same* series
+and dashboards built against one work against the other.
+
+Everything is duck-typed against
+:class:`~repro.framework.pipeline.PipelineReport` to keep this module
+import-light (the pipeline imports :mod:`repro.obs`, not vice versa).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+#: bucket bounds for relative estimation error (unitless ratios)
+ERROR_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 10.0)
+
+
+def record_run_metrics(
+    registry: MetricsRegistry,
+    report,
+    workflow: str = "",
+    backend: str = "",
+) -> None:
+    """Fold one observe-and-optimize cycle into the registry.
+
+    Counters: ``etl_runs_total``, ``etl_run_failures_total`` (labelled by
+    failure kind), ``etl_statistics_tapped_total``,
+    ``etl_catalog_hits_total``, ``etl_plans_improved_total``.  Gauges:
+    ``etl_plan_cost``, ``etl_selection_cost``.  Histograms:
+    ``etl_phase_seconds`` (labelled by phase) and, when the report's
+    trace carries estimated-vs-actual rows, ``etl_estimation_rel_error``.
+    """
+    labels = {}
+    if workflow:
+        labels["workflow"] = workflow
+    if backend:
+        labels["backend"] = backend
+
+    registry.counter(
+        "etl_runs_total", "observe-and-optimize cycles completed"
+    ).inc(**labels)
+    if report.failures:
+        failures = registry.counter(
+            "etl_run_failures_total", "failed or skipped tasks across runs"
+        )
+        for failure in report.failures.values():
+            failures.inc(kind=failure.kind, **labels)
+    registry.counter(
+        "etl_statistics_tapped_total", "statistics instrumented fresh"
+    ).inc(len(report.tapped), **labels)
+    if report.catalog_hits:
+        registry.counter(
+            "etl_catalog_hits_total",
+            "statistics consumed from the shared catalog at zero cost",
+        ).inc(report.catalog_hits, **labels)
+    improved = sum(1 for plan in report.plans.values() if plan.improved)
+    if improved:
+        registry.counter(
+            "etl_plans_improved_total", "blocks whose plan changed"
+        ).inc(improved, **labels)
+
+    registry.gauge(
+        "etl_plan_cost", "total estimated cost of the chosen plans"
+    ).set(report.total_estimated_cost, **labels)
+    registry.gauge(
+        "etl_selection_cost", "observation cost of the selected statistics"
+    ).set(report.selection.total_cost, **labels)
+
+    phases = registry.histogram(
+        "etl_phase_seconds", "wall time per pipeline phase"
+    )
+    for phase, seconds in report.timings.items():
+        phases.observe(seconds, phase=phase, **labels)
+
+    drift = getattr(report, "drift", None)
+    if drift is not None:
+        registry.counter(
+            "etl_catalog_refreshed_total", "catalog entries refreshed by runs"
+        ).inc(len(drift.refreshed) + len(drift.added), **labels)
+        if drift.drifted:
+            registry.counter(
+                "etl_catalog_drifted_total", "SEs whose catalog prediction drifted"
+            ).inc(len(drift.drifted), **labels)
+
+    trace = getattr(report, "trace", None)
+    if trace is not None and getattr(trace, "enabled", False):
+        from repro.obs.render import estimation_errors
+
+        errors = registry.histogram(
+            "etl_estimation_rel_error",
+            "relative error of prior row predictions vs observed rows",
+            buckets=ERROR_BUCKETS,
+        )
+        for err, _span in estimation_errors(trace.root):
+            errors.observe(err, **labels)
+
+
+__all__ = ["ERROR_BUCKETS", "record_run_metrics"]

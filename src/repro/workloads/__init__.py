@@ -7,10 +7,11 @@ from repro.workloads.characteristics import (
     synthetic_population,
 )
 from repro.workloads.datagen import ColumnSpec, TableSpec, ZipfSampler, generate_tables
+from repro.workloads.randomgen import random_workflow
 from repro.workloads.tpcdi import WorkflowCase, case, suite
 
 __all__ = [
-    "case", "ColumnSpec", "generate_tables", "paper_reference", "suite",
-    "summarize", "SummaryRow", "synthetic_population", "TableSpec",
-    "WorkflowCase", "ZipfSampler",
+    "case", "ColumnSpec", "generate_tables", "paper_reference",
+    "random_workflow", "suite", "summarize", "SummaryRow",
+    "synthetic_population", "TableSpec", "WorkflowCase", "ZipfSampler",
 ]

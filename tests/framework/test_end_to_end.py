@@ -77,7 +77,12 @@ def test_pipeline_report_improves_or_matches_initial_plan():
     assert report.total_estimated_cost <= report.total_initial_cost
     assert report.selection.is_valid
     # the report exposes per-step timings
-    assert set(report.timings) == {"selection", "execution", "optimization"}
+    assert set(report.timings) == {
+        "enumerate",
+        "selection",
+        "execution",
+        "optimization",
+    }
 
 
 def test_optimized_plan_cost_verified_by_execution():

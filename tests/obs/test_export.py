@@ -1,0 +1,136 @@
+"""Exporter/loader tests: round trips and one-line failure modes."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import PersistenceError
+from repro.obs.export import (
+    TraceDocument,
+    load_trace,
+    trace_to_dict,
+    write_metrics,
+    write_metrics_json,
+    write_metrics_prometheus,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE_FORMAT_VERSION, Span, Tracer
+
+
+def _ticker():
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += 1.0
+        return state["now"]
+
+    return clock
+
+
+class TestTraceRoundTrip:
+    def test_tracer_round_trip(self, tmp_path):
+        tracer = Tracer(workflow="wf", clock=_ticker(), wall_clock=lambda: 9.0)
+        with tracer.span("execution"):
+            tracer.point("SE(R1)", rows=4)
+        tracer.finish(run_id="run0")
+        path = tmp_path / "trace.json"
+        write_trace(tracer, path)
+        doc = load_trace(path)
+        assert isinstance(doc, TraceDocument)
+        assert doc.workflow == "wf"
+        assert doc.run_id == "run0"
+        assert doc.started_at == 9.0
+        assert doc.root.to_dict() == tracer.root.to_dict()
+
+    def test_bare_span_round_trip(self, tmp_path):
+        root = Span("run", kind="run", start=0.0)
+        root.end = 1.0
+        path = tmp_path / "trace.json"
+        write_trace(root, path)
+        loaded = load_trace(path)
+        assert loaded.root.to_dict() == root.to_dict()
+        assert trace_to_dict(root)["format_version"] == TRACE_FORMAT_VERSION
+
+    def test_output_is_deterministic(self, tmp_path):
+        root = Span("run", kind="run", attrs={"b": 1, "a": 2})
+        write_trace(root, tmp_path / "one.json")
+        write_trace(root, tmp_path / "two.json")
+        assert (tmp_path / "one.json").read_text() == (
+            tmp_path / "two.json"
+        ).read_text()
+
+
+class TestTraceLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_trace(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="invalid trace file"):
+            load_trace(path)
+
+    def test_non_object_document(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(PersistenceError, match="expected a JSON object"):
+            load_trace(path)
+
+    def test_future_format_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 99, "kind": "trace"}))
+        with pytest.raises(PersistenceError, match="format_version"):
+            load_trace(path)
+
+    def test_wrong_document_kind(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(MetricsRegistry(), path)
+        with pytest.raises(PersistenceError, match="not a trace"):
+            load_trace(path)
+
+    def test_missing_root_span(self, tmp_path):
+        path = tmp_path / "rootless.json"
+        path.write_text(json.dumps({"format_version": 1, "kind": "trace"}))
+        with pytest.raises(PersistenceError, match="no root span"):
+            load_trace(path)
+
+
+class TestMetricsWriters:
+    @pytest.fixture
+    def registry(self):
+        registry = MetricsRegistry()
+        registry.counter("etl_runs_total").inc(workflow="wf")
+        return registry
+
+    def test_json_writer(self, registry, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(registry, path)
+        assert json.loads(path.read_text()) == registry.to_dict()
+
+    def test_prometheus_writer(self, registry, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_metrics_prometheus(registry, path)
+        assert path.read_text() == registry.render_prometheus()
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("m.json", "json"),
+            ("m", "json"),
+            ("m.prom", "prometheus"),
+            ("m.txt", "prometheus"),
+            ("m.metrics", "prometheus"),
+        ],
+    )
+    def test_write_metrics_picks_format_by_suffix(
+        self, registry, tmp_path, name, expected
+    ):
+        path = tmp_path / name
+        assert write_metrics(registry, path) == expected
+        text = path.read_text()
+        if expected == "json":
+            assert json.loads(text)["kind"] == "metrics"
+        else:
+            assert text.startswith("# TYPE etl_runs_total counter")

@@ -1,0 +1,131 @@
+"""Unit tests for counters, gauges, histograms and the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRICS_FORMAT_VERSION,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        counter = Counter("etl_runs_total")
+        counter.inc()
+        counter.inc(2.0)
+        counter.inc(workflow="wf03")
+        assert counter.value() == 3.0
+        assert counter.value(workflow="wf03") == 1.0
+        assert counter.total == 4.0
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("x")
+        with pytest.raises(MetricError):
+            counter.inc(-1.0)
+
+    def test_unseen_label_set_reads_zero(self):
+        assert Counter("x").value(workflow="nope") == 0.0
+
+    def test_sample_lines_are_sorted_and_labelled(self):
+        counter = Counter("x")
+        counter.inc(workflow="b")
+        counter.inc(2, workflow="a")
+        assert counter.sample_lines() == [
+            'x{workflow="a"} 2',
+            'x{workflow="b"} 1',
+        ]
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("etl_plan_cost")
+        gauge.set(10.5, workflow="wf")
+        gauge.set(7.0, workflow="wf")
+        assert gauge.value(workflow="wf") == 7.0
+
+    def test_to_dict_shape(self):
+        gauge = Gauge("g", help="h")
+        gauge.set(3.0)
+        assert gauge.to_dict() == {
+            "type": "gauge",
+            "help": "h",
+            "samples": [{"labels": {}, "value": 3.0}],
+        }
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_sum(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count() == 5
+        assert hist.sum() == pytest.approx(56.05)
+        lines = hist.sample_lines()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1"} 3' in lines
+        assert 'lat_bucket{le="10"} 4' in lines
+        assert 'lat_bucket{le="+Inf"} 5' in lines
+        assert lines[-1] == "lat_count 5"
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0))
+        hist.observe(1.0)  # le="1" is inclusive
+        assert 'lat_bucket{le="1"} 1' in hist.sample_lines()
+
+    def test_labelled_distributions_are_independent(self):
+        hist = Histogram("lat", buckets=(1.0,))
+        hist.observe(0.5, phase="selection")
+        hist.observe(0.5, phase="execution")
+        hist.observe(0.5, phase="execution")
+        assert hist.count(phase="selection") == 1
+        assert hist.count(phase="execution") == 2
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(MetricError):
+            Histogram("lat", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.counter("runs")
+        assert registry.counter("runs") is first
+        assert "runs" in registry
+        assert registry.get("runs") is first
+        assert registry.get("absent") is None
+        assert len(registry) == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+
+    def test_to_dict_is_versioned(self):
+        registry = MetricsRegistry()
+        registry.counter("runs", help="runs started").inc()
+        doc = registry.to_dict()
+        assert doc["format_version"] == METRICS_FORMAT_VERSION
+        assert doc["kind"] == "metrics"
+        assert doc["metrics"]["runs"]["type"] == "counter"
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", help="b things").inc(workflow="wf")
+        registry.gauge("a_cost").set(2.5)
+        text = registry.render_prometheus()
+        # metrics sorted by name; HELP only when given; trailing newline
+        assert text == (
+            "# TYPE a_cost gauge\n"
+            "a_cost 2.5\n"
+            "# HELP b_total b things\n"
+            "# TYPE b_total counter\n"
+            'b_total{workflow="wf"} 1\n'
+        )
+
+    def test_render_prometheus_empty_registry(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,54 @@
+"""Property: both solvers always cover all SE cardinalities.
+
+Section 5 frames statistics selection as a weighted hitting-set problem;
+the ILP solves it exactly and the greedy approximates it.  Whatever the
+workflow, both must return *valid* selections (the closure of the observed
+set derives the cardinality of every SE in S_C) and the approximation can
+never beat the optimum: ``greedy cost >= ILP cost``.
+
+Hypothesis drives the seed space (derandomized, so CI is reproducible);
+the workflow generator turns each seed into a random join graph.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.blocks import analyze
+from repro.core.costs import CostModel
+from repro.core.generator import generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.ilp import solve_ilp
+from repro.core.selection import build_problem
+from repro.workloads.randomgen import random_workflow
+
+pytestmark = pytest.mark.property
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_greedy_and_ilp_cover_all_cardinalities(seed):
+    workflow, _ = random_workflow(seed)
+    analysis = analyze(workflow)
+    catalog = generate_css(analysis)
+    problem = build_problem(catalog, CostModel(workflow.catalog))
+
+    ilp = solve_ilp(problem)
+    greedy = solve_greedy(problem)
+
+    # validity: the observed closure derives every required cardinality
+    for result in (ilp, greedy):
+        assert result.is_valid, (seed, result.method)
+        computable = catalog.closure(set(result.observed))
+        missing = catalog.required - computable
+        assert not missing, (seed, result.method, missing)
+
+    # optimality ordering: the approximation never beats the exact solve
+    assert greedy.total_cost >= ilp.total_cost - 1e-9, seed

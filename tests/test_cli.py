@@ -157,40 +157,40 @@ class TestErrorPaths:
             assert needle in captured.err
 
     def test_unknown_workflow_number(self, capsys):
-        assert main(["run", "--number", "99"]) == 2
+        assert main(["run", "--number", "99"]) == 1
         self._assert_one_line_error(capsys, "99", "wf01")
 
     def test_unknown_workflow_number_in_suite(self, capsys):
-        assert main(["suite", "--number", "0"]) == 2
+        assert main(["suite", "--number", "0"]) == 1
         self._assert_one_line_error(capsys)
 
     def test_missing_workflow_file(self, tmp_path, capsys):
-        assert main(["analyze", str(tmp_path / "ghost.json")]) == 2
+        assert main(["analyze", str(tmp_path / "ghost.json")]) == 1
         self._assert_one_line_error(capsys, "cannot read")
 
     def test_corrupt_workflow_file(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text("{this is not json")
-        assert main(["analyze", str(path)]) == 2
+        assert main(["analyze", str(path)]) == 1
         self._assert_one_line_error(capsys, "corrupt")
 
     def test_corrupt_fault_plan(self, tmp_path, capsys):
         path = tmp_path / "faults.json"
         path.write_text(json.dumps({"faults": [{"target": "B1",
                                                 "kind": "explode"}]}))
-        assert main(["run", "--number", "9", "--faults", str(path)]) == 2
+        assert main(["run", "--number", "9", "--faults", str(path)]) == 1
         self._assert_one_line_error(capsys, "kind")
 
     def test_missing_fault_plan_file(self, tmp_path, capsys):
         assert main(["run", "--number", "9",
-                     "--faults", str(tmp_path / "ghost.json")]) == 2
+                     "--faults", str(tmp_path / "ghost.json")]) == 1
         self._assert_one_line_error(capsys, "cannot read")
 
     def test_corrupt_checkpoint(self, tmp_path, capsys):
         path = tmp_path / "ckpt.json"
         path.write_text("{nope")
         assert main(["run", "--number", "9", "--scale", "0.05",
-                     "--resume", str(path)]) == 2
+                     "--resume", str(path)]) == 1
         self._assert_one_line_error(capsys, "checkpoint")
 
 
@@ -355,14 +355,14 @@ class TestCatalogCommands:
         assert "fleet plan" in capsys.readouterr().out
     def test_missing_catalog_file_is_an_error(self, tmp_path, capsys):
         missing = str(tmp_path / "nope.json")
-        assert main(["catalog", "show", missing]) == 2
+        assert main(["catalog", "show", missing]) == 1
         assert "not found" in capsys.readouterr().err
-        assert main(["catalog", "gc", missing]) == 2
+        assert main(["catalog", "gc", missing]) == 1
         capsys.readouterr()
-        assert main(["catalog", "export", missing]) == 2
+        assert main(["catalog", "export", missing]) == 1
         capsys.readouterr()
         assert main(["catalog", "import",
-                     str(tmp_path / "dest.json"), missing]) == 2
+                     str(tmp_path / "dest.json"), missing]) == 1
         capsys.readouterr()
 
 
@@ -388,3 +388,83 @@ class TestDeterministicExport:
         doc = json.loads(Path(a).read_text())
         assert Path(a).read_text() == json.dumps(doc, indent=1, sort_keys=True)
 
+
+
+class TestObservabilityCli:
+    def _assert_one_line_error(self, capsys, *needles):
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+        for needle in needles:
+            assert needle in captured.err
+
+    def test_run_with_bare_trace_flag_renders_tree(self, capsys):
+        assert main(["run", "--number", "9", "--scale", "0.05",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "run:run" in out
+        assert "phase:execution" in out
+        assert "block:B1" in out
+        assert "slowest blocks" in out
+
+    def test_run_persists_trace_for_trace_show(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        assert main(["run", "--number", "9", "--scale", "0.05",
+                     "--trace", trace]) == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+
+        assert main(["trace", "show", trace]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace of wf09_broker_accounts run wf09-seed7")
+        assert "phase:selection" in out
+        assert "operator:" in out
+
+    def test_trace_show_verbose_and_top(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        assert main(["run", "--number", "9", "--scale", "0.05",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace", "show", trace, "--verbose", "--top", "2"]) == 0
+        assert "slowest blocks (top" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name,fmt", [("m.json", "json"),
+                                          ("m.prom", "prometheus")])
+    def test_run_writes_metrics(self, tmp_path, capsys, name, fmt):
+        path = tmp_path / name
+        assert main(["run", "--number", "9", "--scale", "0.05",
+                     "--metrics-out", str(path)]) == 0
+        assert f"metrics ({fmt}) written to" in capsys.readouterr().out
+        text = path.read_text()
+        if fmt == "json":
+            doc = json.loads(text)
+            assert doc["kind"] == "metrics"
+            assert "etl_runs_total" in doc["metrics"]
+        else:
+            assert "# TYPE etl_runs_total counter" in text
+            assert "etl_phase_seconds_bucket" in text
+
+    def test_trace_show_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "show", str(tmp_path / "ghost.json")]) == 1
+        self._assert_one_line_error(capsys, "cannot read")
+
+    def test_trace_show_corrupt_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not a trace")
+        assert main(["trace", "show", str(path)]) == 1
+        self._assert_one_line_error(capsys, "invalid")
+
+    def test_trace_show_future_format_version(self, tmp_path, capsys):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 99, "kind": "trace",
+                                    "root": {"name": "run"}}))
+        assert main(["trace", "show", str(path)]) == 1
+        self._assert_one_line_error(capsys, "format_version")
+
+    def test_trace_show_rejects_other_document_kinds(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["run", "--number", "9", "--scale", "0.05",
+                     "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "show", str(path)]) == 1
+        self._assert_one_line_error(capsys, "not a trace")

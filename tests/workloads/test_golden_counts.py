@@ -33,14 +33,14 @@ GOLDEN = {
     17: (13, 59, 106, 37),
     18: (6, 13, 13, 13),
     19: (21, 145, 325, 54),
-    20: (14, 85, 228, 35),
+    20: (14, 85, 137, 27),  # UD soundness: off-key t3<->other edges rejected
     21: (73, 3173, 4897, 176),
     22: (8, 11, 11, 13),
     23: (9, 38, 50, 26),
     24: (6, 6, 6, 10),
     25: (8, 20, 20, 18),
     26: (19, 135, 261, 43),
-    27: (26, 285, 615, 55),
+    27: (26, 285, 415, 41),  # UD soundness: off-key t3<->other edges rejected
     28: (27, 311, 569, 84),
     29: (44, 1089, 1742, 105),
     30: (26, 353, 534, 71),

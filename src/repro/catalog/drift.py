@@ -204,4 +204,70 @@ def reconcile_run(
     return report
 
 
-__all__ = ["DEFAULT_DRIFT_THRESHOLD", "DriftReport", "reconcile_run"]
+def invalidate_schema_drift(
+    catalog: StatisticsCatalog,
+    signer: WorkflowSigner,
+    analysis,
+    sources,
+    *,
+    metrics=None,
+    workflow: str = "",
+) -> int:
+    """Mark stale every entry on an SE touching a schema-drifted source.
+
+    Value drift (the scan above) compares numbers; *schema* drift --
+    detected by the quality gate's :func:`repro.quality.drift
+    .reconcile_schema` -- means the source's shape changed upstream, so
+    every statistic whose sub-expression involves that source describes a
+    table that no longer exists.  Marking the entries stale removes them
+    from the zero-cost offer and forces their re-observation over the
+    reconciled schema; tonight's own (post-screening) observations re-admit
+    them through :func:`reconcile_run` in the same reconcile pass.
+
+    ``sources`` are drifted *base* names (e.g. ``{"customers"}``); they
+    are mapped to each block's input and stage relation names, then to the
+    block's SE universe and post stages.  Returns the number of entries
+    newly marked stale.
+    """
+    sources = set(sources)
+    if not sources:
+        return 0
+    se_keys: set[str] = set()
+    for block in analysis.blocks:
+        touched: set[str] = set()
+        for name, inp in block.inputs.items():
+            if inp.base_name in sources:
+                touched.add(name)
+                touched.update(inp.stage_names())
+        if not touched:
+            continue
+        # the block's post stages derive from a join that includes the
+        # drifted input, so they are suspect regardless of relation names
+        post = set(block.post_stage_ses())
+        for se in block.universe():
+            if not (se.relations & touched) and se not in post:
+                continue
+            try:
+                se_keys.add(signer.se_key(se))
+            except SignatureError:
+                continue
+    marked = 0
+    for se_key in sorted(se_keys):
+        marked += catalog.mark_stale(
+            entry.key for entry in catalog.entries_on_se(se_key)
+        )
+    if metrics is not None and marked:
+        labels = {"workflow": workflow} if workflow else {}
+        metrics.counter(
+            "catalog_schema_invalidated_total",
+            "entries invalidated by upstream schema drift",
+        ).inc(marked, **labels)
+    return marked
+
+
+__all__ = [
+    "DEFAULT_DRIFT_THRESHOLD",
+    "DriftReport",
+    "invalidate_schema_drift",
+    "reconcile_run",
+]

@@ -28,9 +28,16 @@ The file format rides on :mod:`repro.core.persistence`'s
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+
+try:  # advisory flock; absent on some platforms -> O_EXCL fallback
+    import fcntl
+except ImportError:  # pragma: no cover - posix everywhere we run
+    fcntl = None
 
 from repro.core.persistence import (
     FORMAT_VERSION,
@@ -49,6 +56,96 @@ DEFAULT_TTL = 30 * 24 * 3600.0
 
 #: entries whose quality score sinks below this are not offered for reuse
 DEFAULT_MIN_QUALITY = 0.5
+
+#: how long :func:`catalog_lock` waits for a contended lock
+DEFAULT_LOCK_TIMEOUT = 10.0
+
+#: a lock file untouched for this long belongs to a dead run -- take it over
+DEFAULT_LOCK_STALE = 120.0
+
+
+def _try_lock(fd: int) -> bool:
+    if fcntl is not None:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return True
+        except OSError:
+            return False
+    return True  # O_EXCL creation below is the lock on fcntl-less platforms
+
+
+@contextmanager
+def catalog_lock(
+    path: str | Path,
+    timeout: float = DEFAULT_LOCK_TIMEOUT,
+    stale_after: float = DEFAULT_LOCK_STALE,
+    poll: float = 0.05,
+):
+    """Advisory lock serializing read-modify-write on one catalog file.
+
+    Two concurrent nightly fleet runs that ``save()`` the same catalog
+    used to interleave plain read/write and silently drop each other's
+    entries; holding this lock around reload-merge-write makes the last
+    writer *add* rather than clobber.
+
+    The lock is an ``fcntl.flock`` on a ``<catalog>.lock`` sidecar (an
+    ``O_EXCL``-created sidecar where ``fcntl`` is unavailable).  Stale
+    takeover: a lock file whose mtime is older than ``stale_after`` is a
+    dead run's leftover -- it is unlinked and acquisition retries, so one
+    crashed fleet run never wedges every later night.  A *live* contender
+    wins a :class:`~repro.core.persistence.PersistenceError` after
+    ``timeout`` seconds instead of deadlocking the fleet.
+    """
+    lock_path = Path(str(path) + ".lock")
+    deadline = time.monotonic() + timeout
+    fd: int | None = None
+    try:
+        while True:
+            flags = os.O_CREAT | os.O_RDWR
+            if fcntl is None:
+                flags |= os.O_EXCL
+            try:
+                fd = os.open(lock_path, flags, 0o644)
+            except FileExistsError:
+                fd = None  # O_EXCL path: somebody holds it
+            if fd is not None and _try_lock(fd):
+                os.truncate(fd, 0)
+                os.write(fd, f"pid={os.getpid()}\n".encode())
+                os.utime(lock_path)  # freshness signal for stale takeover
+                break
+            if fd is not None:
+                os.close(fd)
+                fd = None
+            try:
+                age = time.time() - lock_path.stat().st_mtime
+            except OSError:
+                continue  # holder vanished between attempts; retry now
+            if age > stale_after:
+                try:
+                    lock_path.unlink()
+                except OSError:  # pragma: no cover - racing another takeover
+                    pass
+                continue
+            if time.monotonic() >= deadline:
+                raise PersistenceError(
+                    f"catalog {path} is locked by another run "
+                    f"(lock {lock_path}, held {age:.0f}s); remove the lock "
+                    "file if that run is dead"
+                )
+            time.sleep(poll)
+        yield
+    finally:
+        if fd is not None:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover - unlock cannot fail here
+                    pass
+            os.close(fd)
+            try:
+                lock_path.unlink()
+            except OSError:  # pragma: no cover - already taken over
+                pass
 
 
 @dataclass(frozen=True)
@@ -191,11 +288,33 @@ class StatisticsCatalog:
             ],
         }
 
-    def save(self, path: str | Path | None = None) -> None:
+    def save(self, path: str | Path | None = None, merge: bool = True) -> None:
+        """Persist the catalog under the advisory file lock.
+
+        With ``merge`` (the default) the on-disk catalog is re-read inside
+        the lock and folded in first (newer ``observed_at`` wins), so two
+        concurrent fleet runs saving the same file converge to the union
+        of their entries instead of the last writer dropping the other's.
+        Deliberate removals (``gc``) must pass ``merge=False`` or the
+        merge would resurrect every entry they just dropped.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise PersistenceError("catalog has no path to save to")
-        atomic_write_json(self.to_dict(), target)
+        with catalog_lock(target):
+            if merge and target.exists():
+                try:
+                    disk = StatisticsCatalog.open(
+                        target, ttl=self.ttl, min_quality=self.min_quality
+                    )
+                except PersistenceError:
+                    pass  # corrupt on-disk catalog: ours replaces it
+                else:
+                    for key, entry in disk.entries.items():
+                        mine = self.entries.get(key)
+                        if mine is None or entry.observed_at > mine.observed_at:
+                            self.entries[key] = entry
+            atomic_write_json(self.to_dict(), target)
 
     # ------------------------------------------------------------------
     # reads
@@ -377,9 +496,12 @@ class StatisticsCatalog:
 
 
 __all__ = [
+    "DEFAULT_LOCK_STALE",
+    "DEFAULT_LOCK_TIMEOUT",
     "DEFAULT_MIN_QUALITY",
     "DEFAULT_TTL",
     "CatalogEntry",
     "CatalogHits",
     "StatisticsCatalog",
+    "catalog_lock",
 ]

@@ -37,7 +37,16 @@ console script):
   observes each statistic shared across suite workflows exactly once;
 - ``trace show <trace.json>`` -- render a persisted run trace as an
   indented span tree, with the slowest blocks and the worst
-  estimated-vs-actual row errors summarized below it.
+  estimated-vs-actual row errors summarized below it;
+- ``quality <infer|report>`` -- bootstrap source contracts from a suite
+  workflow's clean sources, or summarize a quarantine dead-letter
+  directory written by ``run --quarantine-dir``.
+
+Data quality: ``run --contracts CONTRACTS.JSON`` arms the quality gate
+(schema drift reconciled under ``--on-drift strict|coerce|ignore-extra``,
+invalid rows quarantined before any block executes, so every observed
+statistic excludes them); ``--quarantine-dir DIR`` persists the
+dead-letter rows with structured violation records.
 
 ``run`` and ``identify`` accept ``--catalog CATALOG.JSON``: statistics
 already in the catalog enter selection at zero cost (Section 6.2) and are
@@ -71,6 +80,7 @@ from repro.core.persistence import PersistenceError
 from repro.core.selection import build_problem
 from repro.engine.backend import available_backends
 from repro.engine.faults import FaultError
+from repro.quality import QualityError
 from repro.workloads import case, suite
 
 
@@ -81,7 +91,7 @@ class CliError(Exception):
 def _load_workflow(path: str):
     try:
         text = Path(path).read_text()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
         raise CliError(f"cannot read workflow file {path}: {exc}") from exc
     try:
         if path.endswith(".xml"):
@@ -229,6 +239,29 @@ def _cmd_run(args) -> int:
             prior_observed_at = None
     stats_catalog = _open_catalog(args.catalog) if args.catalog else None
 
+    contracts = None
+    quarantine = None
+    if args.quarantine_dir and not args.contracts:
+        raise CliError(
+            "--quarantine-dir needs --contracts to arm the quality gate"
+        )
+    if args.contracts:
+        from repro.quality import ContractSet, QuarantineStore
+
+        contracts_path = Path(args.contracts)
+        if contracts_path.exists():
+            contracts = ContractSet.from_file(contracts_path)
+        else:
+            # first clean run: infer the contracts from tonight's sources
+            # and persist them as the baseline future runs are held to
+            contracts = ContractSet.infer(sources)
+            contracts.save(contracts_path)
+            print(
+                f"contracts inferred from tonight's sources and saved to "
+                f"{args.contracts} ({len(contracts)} source(s))"
+            )
+        quarantine = QuarantineStore()
+
     tracer = None
     if args.trace is not None:
         from repro.obs import Tracer
@@ -251,6 +284,9 @@ def _cmd_run(args) -> int:
         run_id=f"wf{wfcase.number:02d}-seed{args.seed}",
         tracer=tracer,
         metrics=metrics,
+        contracts=contracts,
+        on_drift=args.on_drift,
+        quarantine=quarantine,
     )
     total_in = sum(t.num_rows for t in sources.values())
     print(
@@ -270,6 +306,24 @@ def _cmd_run(args) -> int:
             f"{len(report.tapped)} observed fresh, "
             f"{len(stats_catalog.entries)} entries after reconcile"
         )
+    if contracts is not None:
+        print(
+            f"quality gate: {report.rows_quarantined} row(s) quarantined, "
+            f"{len(report.violations)} violation(s), "
+            f"{len(report.schema_drift)} schema drift event(s)"
+        )
+        if args.quarantine_dir:
+            written = quarantine.save(args.quarantine_dir)
+            if written:
+                print(
+                    f"dead letter: {len(written)} artifact(s) written to "
+                    f"{args.quarantine_dir}"
+                )
+            else:
+                print(
+                    f"dead letter: all sources clean, nothing written to "
+                    f"{args.quarantine_dir}"
+                )
     if args.save_stats:
         from repro.core.persistence import save_statistics
 
@@ -373,7 +427,9 @@ def _cmd_catalog_gc(args) -> int:
         min_quality=args.min_quality,
         drop_stale=not args.keep_stale,
     )
-    catalog.save()
+    # merge=False: a merging save would re-adopt the just-dropped entries
+    # from the on-disk file and undo the collection
+    catalog.save(merge=False)
     print(f"gc: removed {removed} of {before} entries, {len(catalog.entries)} kept")
     return 0
 
@@ -429,6 +485,34 @@ def _cmd_catalog_plan_fleet(args) -> int:
     workflows = [_case(n).build() for n in numbers]
     plan = plan_fleet(workflows, catalog, solver=args.solver)
     print(plan.describe())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# quality command group
+# ---------------------------------------------------------------------------
+
+
+def _cmd_quality_infer(args) -> int:
+    from repro.quality import ContractSet
+
+    wfcase = _case(args.number)
+    sources = wfcase.tables(scale=args.scale, seed=args.seed)
+    contracts = ContractSet.infer(sources)
+    contracts.save(args.out)
+    print(
+        f"contracts for wf{wfcase.number:02d} ({len(contracts)} "
+        f"source(s)) inferred and saved to {args.out}"
+    )
+    print(contracts.describe())
+    return 0
+
+
+def _cmd_quality_report(args) -> int:
+    from repro.quality import QuarantineStore
+
+    store = QuarantineStore.load_dir(args.directory)
+    print(store.describe())
     return 0
 
 
@@ -557,6 +641,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(drift-checks) and saves the catalog afterwards",
     )
     p.add_argument(
+        "--contracts",
+        default=None,
+        metavar="CONTRACTS.JSON",
+        help="source-contract file arming the data-quality gate; a missing "
+        "file is bootstrapped by inferring contracts from tonight's "
+        "sources and saving them here",
+    )
+    p.add_argument(
+        "--quarantine-dir",
+        default=None,
+        metavar="DIR",
+        help="write one dead-letter artifact per unclean source here "
+        "(inspect with `repro-etl quality report`); needs --contracts",
+    )
+    p.add_argument(
+        "--on-drift",
+        choices=("strict", "coerce", "ignore-extra"),
+        default=None,
+        help="schema-drift policy for contracted sources "
+        "(default: coerce)",
+    )
+    p.add_argument(
         "--trace",
         nargs="?",
         const="",
@@ -670,6 +776,31 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--solver", choices=("ilp", "greedy"), default="greedy")
     c.set_defaults(fn=_cmd_catalog_plan_fleet)
 
+    p = sub.add_parser(
+        "quality", help="source contracts and quarantine dead letters"
+    )
+    quality_sub = p.add_subparsers(dest="quality_command", required=True)
+
+    q = quality_sub.add_parser(
+        "infer", help="bootstrap contracts from a suite workflow's sources"
+    )
+    q.add_argument("--number", type=int, required=True)
+    q.add_argument("--scale", type=float, default=0.1)
+    q.add_argument("--seed", type=int, default=7)
+    q.add_argument(
+        "--out", required=True, metavar="CONTRACTS.JSON",
+        help="where to save the inferred contract set",
+    )
+    q.set_defaults(fn=_cmd_quality_infer)
+
+    q = quality_sub.add_parser(
+        "report", help="summarize a quarantine dead-letter directory"
+    )
+    q.add_argument(
+        "directory", help="directory written by `run --quarantine-dir`"
+    )
+    q.set_defaults(fn=_cmd_quality_report)
+
     p = sub.add_parser("trace", help="inspect persisted run traces")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
 
@@ -697,9 +828,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (CliError, FaultError, PersistenceError) as exc:
+    except (CliError, FaultError, PersistenceError, QualityError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # the reader went away (e.g. piped into `head`); exit quietly --
+        # point stdout at devnull so the interpreter's final flush does
+        # not raise a second time
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -75,7 +75,7 @@ def _load_json(path: str | Path, kind: str) -> dict:
     """Read + parse + shape-check one persisted file."""
     try:
         text = Path(path).read_text()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
         raise PersistenceError(f"cannot read {kind} file {path}: {exc}") from exc
     try:
         doc = json.loads(text)

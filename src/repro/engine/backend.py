@@ -66,6 +66,12 @@ class WorkflowRun:
     rejects: dict[RejectSE, Table] = field(default_factory=dict)
     failures: dict[str, RunFailure] = field(default_factory=dict)
     resumed: tuple[str, ...] = ()
+    #: source rows the quality gate diverted before execution (per source,
+    #: non-empty dead-letter tables only); ``env`` holds the survivors, so
+    #: every tap and ground-truth count excludes these rows by construction
+    quarantined: dict[str, Table] = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+    schema_drift: tuple = ()
 
     def target(self, name: str) -> Table:
         return self.targets[name]
@@ -73,6 +79,10 @@ class WorkflowRun:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    @property
+    def rows_quarantined(self) -> int:
+        return sum(t.num_rows for t in self.quarantined.values())
 
     def failed_blocks(self, analysis: "BlockAnalysis") -> list[str]:
         """Names of optimizable blocks that failed or were skipped."""
@@ -220,6 +230,7 @@ class BackendExecutor:
         faults=None,
         retry: RetryPolicy | None = None,
         checkpoint=None,
+        quality=None,
         tracer=None,
         trace_parent=None,
         estimates: "dict[AnySE, float] | None" = None,
@@ -244,7 +255,15 @@ class BackendExecutor:
         - ``checkpoint`` -- a :class:`~repro.framework.recovery.RunCheckpoint`.
           Blocks already recorded there are restored (output table,
           SE sizes, statistics) instead of re-executed, and every block
-          that completes is persisted so a crashed run can resume.
+          that completes is persisted so a crashed run can resume;
+        - ``quality`` -- a :class:`~repro.quality.gate.QualityGate`.
+          Contracted sources are screened *here*, after source faults and
+          before any block task is built, so every backend executes (and
+          observes) the same surviving rows; the diverted rows land in
+          ``WorkflowRun.quarantined`` with their ``violations`` and
+          ``schema_drift`` events.  Screening runs after
+          ``injector.apply_sources`` on purpose: injected dirty data goes
+          through the same gate real dirty data would.
 
         Tracing (all optional): ``tracer`` records a span per scheduled
         task under ``trace_parent`` plus an operator point per
@@ -261,8 +280,16 @@ class BackendExecutor:
         injector = as_injector(faults)
         if injector is not None:
             sources = injector.apply_sources(sources)
+        if quality is not None:
+            sources = quality.screen_sources(
+                sources, tracer=tracer, trace_parent=trace_parent
+            )
         self._check_sources(sources)
         run = WorkflowRun(env=dict(sources))
+        if quality is not None:
+            run.quarantined = quality.quarantined_tables()
+            run.violations = quality.all_violations()
+            run.schema_drift = quality.drift_events()
         ctx = RunContext(
             run=run,
             taps=taps,

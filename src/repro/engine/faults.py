@@ -9,8 +9,12 @@ truncated, a remote join stalls.  To make every such failure mode testable
 *deterministically* from a seeded plan:
 
 - :class:`FaultSpec` -- one fault: raise a transient or permanent error,
-  delay a block (to trip the scheduler's deadline), or truncate a source
-  table (the short-file case);
+  delay a block (to trip the scheduler's deadline), truncate a source
+  table (the short-file case), or poison source *data*: ``corrupt-row``
+  (a sentinel garbage value), ``type-flip`` (values arrive stringified),
+  ``null-burst`` (values arrive null) and ``column-rename`` (a column
+  arrives under another name) -- the dirty-extract cases the quality gate
+  (:mod:`repro.quality`) exists to absorb;
 - :class:`FaultPlan` -- a seeded collection of specs, JSON round-trippable
   so chaos runs are reproducible from a ``--faults spec.json`` file;
 - :class:`FaultInjector` -- per-run stateful form: wraps scheduler tasks
@@ -39,7 +43,27 @@ from typing import Sequence
 from repro.engine.scheduler import Task
 from repro.engine.table import Table
 
-FAULT_KINDS = ("transient", "permanent", "delay", "truncate")
+FAULT_KINDS = (
+    "transient",
+    "permanent",
+    "delay",
+    "truncate",
+    # dirty-data injectors: mutate source tables instead of raising, so the
+    # quality gate (repro.quality) can be chaos-tested end to end
+    "corrupt-row",
+    "type-flip",
+    "column-rename",
+    "null-burst",
+)
+
+#: kinds applied to the source map before execution (never raised in-task)
+_SOURCE_KINDS = ("truncate", "corrupt-row", "type-flip", "column-rename", "null-burst")
+
+#: source kinds that poison individual rows (need ``fraction`` or ``rows``)
+_DIRTY_ROW_KINDS = ("corrupt-row", "type-flip", "null-burst")
+
+#: the value a corrupt-row fault writes; fails any typed or domain check
+CORRUPT_SENTINEL = "__CORRUPT__"
 
 
 class FaultError(ValueError):
@@ -84,7 +108,10 @@ class FaultSpec:
     probability: float = 1.0
     delay: float = 0.0
     keep: float | None = None  # truncate: fraction of rows kept
-    rows: int | None = None  # truncate: absolute rows kept (wins over keep)
+    rows: int | None = None  # truncate: rows kept; dirty kinds: rows poisoned
+    column: str | None = None  # dirty kinds: the column to poison/rename
+    fraction: float | None = None  # dirty row kinds: fraction of rows poisoned
+    rename_to: str | None = None  # column-rename: the arriving column name
     message: str = ""
 
     def __post_init__(self) -> None:
@@ -102,6 +129,19 @@ class FaultSpec:
             raise FaultError(f"keep must be in [0, 1], got {self.keep}")
         if self.delay < 0:
             raise FaultError(f"delay must be >= 0, got {self.delay}")
+        if self.kind in _DIRTY_ROW_KINDS:
+            if self.fraction is None and self.rows is None:
+                raise FaultError(
+                    f"a {self.kind} fault needs 'fraction' (of rows) or 'rows'"
+                )
+        elif self.fraction is not None:
+            raise FaultError(f"'fraction' only applies to {_DIRTY_ROW_KINDS}")
+        if self.fraction is not None and not 0.0 <= self.fraction <= 1.0:
+            raise FaultError(f"fraction must be in [0, 1], got {self.fraction}")
+        if self.kind == "column-rename" and not self.column:
+            raise FaultError("a column-rename fault needs 'column'")
+        if self.rename_to is not None and self.kind != "column-rename":
+            raise FaultError("'rename_to' only applies to column-rename faults")
 
     def matches(self, name: str) -> bool:
         return fnmatchcase(name, self.target)
@@ -125,6 +165,12 @@ class FaultSpec:
             doc["keep"] = self.keep
         if self.rows is not None:
             doc["rows"] = self.rows
+        if self.column is not None:
+            doc["column"] = self.column
+        if self.fraction is not None:
+            doc["fraction"] = self.fraction
+        if self.rename_to is not None:
+            doc["rename_to"] = self.rename_to
         if self.message:
             doc["message"] = self.message
         return doc
@@ -135,7 +181,7 @@ class FaultSpec:
             raise FaultError(f"fault spec must be an object, got {doc!r}")
         unknown = set(doc) - {
             "target", "kind", "times", "probability", "delay",
-            "keep", "rows", "message",
+            "keep", "rows", "column", "fraction", "rename_to", "message",
         }
         if unknown:
             raise FaultError(f"unknown fault spec field(s): {sorted(unknown)}")
@@ -148,6 +194,9 @@ class FaultSpec:
                 delay=doc.get("delay", 0.0),
                 keep=doc.get("keep"),
                 rows=doc.get("rows"),
+                column=doc.get("column"),
+                fraction=doc.get("fraction"),
+                rename_to=doc.get("rename_to"),
                 message=doc.get("message", ""),
             )
         except KeyError as exc:
@@ -184,7 +233,7 @@ class FaultPlan:
     def from_file(cls, path: str | Path) -> "FaultPlan":
         try:
             doc = json.loads(Path(path).read_text())
-        except OSError as exc:
+        except (OSError, UnicodeDecodeError) as exc:
             raise FaultError(f"cannot read fault plan {path}: {exc}") from exc
         except json.JSONDecodeError as exc:
             raise FaultError(f"fault plan {path} is not valid JSON: {exc}") from exc
@@ -220,30 +269,79 @@ class FaultInjector:
         self._attempts: Counter = Counter()  # task name -> attempts seen
         self._rngs: dict[tuple[int, str], random.Random] = {}
         self.events: list[FaultEvent] = []
+        #: rows poisoned per source (indices into the table as it reached
+        #: the spec) -- the chaos suite asserts the quality gate quarantines
+        #: *exactly* these rows
+        self.dirty_rows: dict[str, set[int]] = {}
 
     # ------------------------------------------------------------------
     def apply_sources(self, sources: dict[str, Table]) -> dict[str, Table]:
-        """Apply truncation faults: the flat file arrived short tonight."""
+        """Apply source faults: truncations and dirty-data mutations.
+
+        Specs apply in plan order, each seeing its predecessors' output.
+        Dirty-row kinds draw their victim rows from a deterministic
+        per-(spec, source) RNG, so the same plan poisons the same rows on
+        every backend and every retry of the run.
+        """
         out = dict(sources)
         for index, spec in enumerate(self.plan.specs):
-            if spec.kind != "truncate":
+            if spec.kind not in _SOURCE_KINDS:
                 continue
-            for name, table in sources.items():
+            for name in sources:
                 if not spec.matches(name):
                     continue
-                if spec.rows is not None:
-                    kept = spec.rows
+                table = out[name]
+                if spec.kind == "truncate":
+                    if spec.rows is not None:
+                        kept = spec.rows
+                    else:
+                        kept = int(table.num_rows * spec.keep)
+                    kept = max(0, min(kept, table.num_rows))
+                    out[name] = table.take(range(kept))
+                elif spec.kind == "column-rename":
+                    if not table.has_column(spec.column):
+                        continue
+                    arrived_as = spec.rename_to or f"{spec.column}_v2"
+                    out[name] = table.rename_columns({spec.column: arrived_as})
                 else:
-                    kept = int(table.num_rows * spec.keep)
-                kept = max(0, min(kept, table.num_rows))
-                out[name] = table.take(range(kept))
+                    poisoned = self._poison_rows(index, spec, name, table)
+                    if poisoned is None:
+                        continue
+                    out[name] = poisoned
                 with self._lock:
                     self._fired[(index, name)] += 1
                     self.events.append(
-                        FaultEvent(task=name, target=spec.target, kind="truncate",
+                        FaultEvent(task=name, target=spec.target, kind=spec.kind,
                                    attempt=1)
                     )
         return out
+
+    def _poison_rows(
+        self, index: int, spec: FaultSpec, name: str, table: Table
+    ) -> Table | None:
+        """One dirty-row mutation; returns ``None`` on an empty table."""
+        n = table.num_rows
+        if n == 0:
+            return None
+        if spec.rows is not None:
+            count = max(0, min(spec.rows, n))
+        else:
+            count = min(n, max(1, round(spec.fraction * n)))
+        if count == 0:
+            return None
+        rng = random.Random(f"{self.plan.seed}:{index}:{name}")
+        victims = sorted(rng.sample(range(n), count))
+        column = (
+            spec.column
+            if spec.column and table.has_column(spec.column)
+            else table.attrs[0]
+        )
+        values = list(table.column(column))
+        for i in victims:
+            values[i] = _dirty_value(spec.kind, values[i])
+        with self._lock:
+            self.dirty_rows.setdefault(name, set()).update(victims)
+        return table.with_column(column, values)
 
     def wrap(self, task: Task) -> Task:
         """A task that consults the plan at the start of every attempt."""
@@ -277,7 +375,7 @@ class FaultInjector:
         with self._lock:
             self._attempts[task_name] += 1
             for index, spec in enumerate(self.plan.specs):
-                if spec.kind == "truncate":
+                if spec.kind in _SOURCE_KINDS:
                     continue
                 scope = next((s for s in scopes if spec.matches(s)), None)
                 if scope is None:
@@ -322,6 +420,18 @@ class FaultInjector:
             return len(self.events)
 
 
+def _dirty_value(kind: str, value):
+    """The mutation each dirty-row kind applies to one victim value."""
+    if kind == "null-burst":
+        return None
+    if kind == "corrupt-row":
+        return CORRUPT_SENTINEL
+    # type-flip: numbers (and None) arrive stringified; strings arrive as 0
+    if isinstance(value, str):
+        return 0
+    return str(value)
+
+
 def as_injector(faults: "FaultPlan | FaultInjector | None") -> FaultInjector | None:
     """Normalize the ``faults=`` argument executors accept."""
     if faults is None or isinstance(faults, FaultInjector):
@@ -332,6 +442,7 @@ def as_injector(faults: "FaultPlan | FaultInjector | None") -> FaultInjector | N
 
 
 __all__ = [
+    "CORRUPT_SENTINEL",
     "FAULT_KINDS",
     "FaultError",
     "FaultEvent",

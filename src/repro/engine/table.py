@@ -98,6 +98,26 @@ class Table:
             {a: [col[i] for i in indexes] for a, col in self.columns.items()}
         )
 
+    def partition(self, indexes: Sequence[int]) -> "tuple[Table, Table]":
+        """Split into ``(rows at indexes, remaining rows)``, order kept.
+
+        The quality gate's primitive: quarantined row indexes go left,
+        surviving rows go right, each side preserving source order.
+        """
+        chosen = set(indexes)
+        rest = [i for i in range(self._nrows) if i not in chosen]
+        return self.take(sorted(chosen)), self.take(rest)
+
+    def rename_columns(self, mapping: dict[str, str]) -> "Table":
+        """A table with columns renamed per ``mapping`` (order preserved)."""
+        renamed = {mapping.get(a, a): col for a, col in self.columns.items()}
+        if len(renamed) != len(self.columns):
+            raise TableError(
+                f"column rename {mapping!r} collides with existing attrs "
+                f"{self.attrs}"
+            )
+        return Table.wrap(renamed)
+
     def with_column(self, attr: str, values: list) -> "Table":
         if len(values) != self._nrows:
             raise TableError("new column length does not match table")

@@ -76,10 +76,32 @@ class PipelineReport:
     catalog_hits: int = 0
     drift: "object | None" = None  # DriftReport when a catalog was given
     trace: "object | None" = None  # Tracer when run_once(tracer=...) was given
+    #: catalog entries invalidated because their source's schema drifted
+    drift_invalidated: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    # -- data quality (populated when run_once(contracts=...) was given) ----
+    @property
+    def quarantined(self) -> dict[str, Table]:
+        """Per-source dead-letter tables of rows the contracts rejected."""
+        return self.run.quarantined
+
+    @property
+    def violations(self) -> list:
+        """Structured per-row :class:`~repro.quality.quarantine.Violation`s."""
+        return self.run.violations
+
+    @property
+    def schema_drift(self) -> tuple:
+        """:class:`~repro.quality.drift.SchemaDriftEvent`s the gate resolved."""
+        return self.run.schema_drift
+
+    @property
+    def rows_quarantined(self) -> int:
+        return self.run.rows_quarantined
 
     @property
     def chosen_trees(self) -> dict[str, PlanTree]:
@@ -122,6 +144,27 @@ class PipelineReport:
             getattr(self.drift, "drifted", ())
         ):
             lines.append(self.drift.describe())
+        if self.rows_quarantined or self.schema_drift:
+            by_source: dict[str, int] = {}
+            for name, table in self.quarantined.items():
+                by_source[name] = table.num_rows
+            detail = ", ".join(
+                f"{name}: {count}" for name, count in sorted(by_source.items())
+            )
+            lines.append(
+                f"quarantined {self.rows_quarantined} row(s) "
+                f"({len(self.violations)} violation(s)"
+                + (f"; {detail}" if detail else "")
+                + ")"
+            )
+            for event in self.schema_drift:
+                lines.append(f"   drift: {event.describe()}")
+            if self.drift_invalidated:
+                lines.append(
+                    f"   {self.drift_invalidated} catalog entr"
+                    f"{'y' if self.drift_invalidated == 1 else 'ies'} "
+                    "invalidated by schema drift"
+                )
         for name, plan in self.plans.items():
             marker = "*" if plan.improved else " "
             note = "" if plan.confidence == "observed" else f" [{plan.confidence}]"
@@ -194,6 +237,9 @@ class StatisticsPipeline:
         drift_threshold: float | None = None,
         tracer=None,
         metrics=None,
+        contracts=None,
+        on_drift: str | None = None,
+        quarantine=None,
     ) -> PipelineReport:
         """One full observe-and-optimize cycle.
 
@@ -236,6 +282,19 @@ class StatisticsPipeline:
         standard run series via
         :func:`~repro.obs.record.record_run_metrics`.  Both default to
         off and cost nothing when off.
+
+        ``contracts`` (a :class:`~repro.quality.contracts.ContractSet`)
+        arms the data-quality gate: each contracted source is first
+        reconciled against schema drift under the ``on_drift`` policy
+        (``strict`` | ``coerce`` | ``ignore-extra``, default ``coerce``),
+        then validated row by row; invalid rows are diverted to a
+        dead-letter table *before* any block executes, so every tap and
+        ground-truth count this cycle observes excludes them.  Sources
+        whose schema drifted have their catalog entries invalidated
+        (``drift_invalidated``) and, in a degraded night, their catalog
+        rung demoted to prior-level trust.  ``quarantine`` (a
+        :class:`~repro.quality.quarantine.QuarantineStore`) collects the
+        dead letters across calls for later persistence.
         """
         from repro.obs.trace import as_tracer
 
@@ -244,6 +303,20 @@ class StatisticsPipeline:
         tr = as_tracer(tracer)
         timings: dict[str, float] = {}
         clock = self.clock
+
+        quality = None
+        if contracts is not None and len(contracts):
+            from repro.quality.drift import DEFAULT_POLICY
+            from repro.quality.gate import QualityGate
+            from repro.quality.quarantine import QuarantineStore
+
+            quality = QualityGate(
+                contracts=contracts,
+                policy=on_drift or DEFAULT_POLICY,
+                quarantine=quarantine
+                if quarantine is not None
+                else QuarantineStore(),
+            )
 
         t0 = clock()
         with tr.span("enumerate") as enum_span:
@@ -327,22 +400,42 @@ class StatisticsPipeline:
                 tracer=tracer,
                 trace_parent=exec_span if tracer is not None else None,
                 estimates=estimates,
+                quality=quality,
             )
             exec_span.annotate(
                 failures=len(run.failures), resumed=len(run.resumed)
             )
+            if quality is not None:
+                exec_span.annotate(
+                    quarantined=run.rows_quarantined,
+                    schema_drift=len(run.schema_drift),
+                )
         timings["execution"] = clock() - t0
         self._se_sizes = dict(run.se_sizes)  # feeds next cycle's CPU costs
 
+        drifted_sources = {event.source for event in run.schema_drift}
         drift = None
+        drift_invalidated = 0
         if stats_catalog is not None:
-            from repro.catalog.drift import reconcile_run
+            from repro.catalog.drift import invalidate_schema_drift, reconcile_run
 
             t0 = clock()
             kwargs = {} if drift_threshold is None else {
                 "threshold": drift_threshold
             }
             with tr.span("reconcile") as rec_span:
+                # schema drift first: entries observed against the old shape
+                # go stale *before* tonight's (post-reconcile) observations
+                # re-admit whatever the run could still validate
+                if drifted_sources:
+                    drift_invalidated = invalidate_schema_drift(
+                        stats_catalog,
+                        signer,
+                        analysis,
+                        drifted_sources,
+                        metrics=metrics,
+                        workflow=analysis.workflow.name,
+                    )
                 drift = reconcile_run(
                     stats_catalog,
                     signer,
@@ -363,6 +456,7 @@ class StatisticsPipeline:
                     drifted=len(drift.drifted),
                     stale_marked=drift.stale_marked,
                     max_rel_error=drift.max_rel_error,
+                    schema_invalidated=drift_invalidated,
                 )
             timings["reconcile"] = clock() - t0
 
@@ -396,6 +490,7 @@ class StatisticsPipeline:
                 prior=prior_statistics,
                 catalog_statistics=hits.values if hits is not None else None,
                 prefer_prior=prefer_prior,
+                drifted_sources=drifted_sources,
             )
             optimizer = PlanOptimizer(analysis, cards, metric=self.cost_metric)
             plans = {
@@ -433,6 +528,7 @@ class StatisticsPipeline:
             tapped=tapped,
             catalog_hits=len(selection.observed) - len(tapped),
             drift=drift,
+            drift_invalidated=drift_invalidated,
             trace=tracer,
         )
         if tracer is not None:

@@ -113,7 +113,7 @@ class RunCheckpoint:
         """Read an existing checkpoint; :class:`PersistenceError` if corrupt."""
         try:
             text = Path(path).read_text()
-        except OSError as exc:
+        except (OSError, UnicodeDecodeError) as exc:
             raise PersistenceError(f"cannot read checkpoint {path}: {exc}") from exc
         try:
             doc = json.loads(text)
@@ -252,6 +252,7 @@ def degraded_cardinalities(
     prior: StatisticsStore | None = None,
     catalog_statistics: StatisticsStore | None = None,
     prefer_prior: bool = False,
+    drifted_sources: "set[str] | None" = None,
 ) -> tuple[dict[AnySE, float], dict[str, str], dict[str, dict[str, str]]]:
     """Fill in cardinalities the failed run could not observe.
 
@@ -260,6 +261,14 @@ def degraded_cardinalities(
     ``catalog_statistics`` holds the shared-catalog values matched for
     this workflow, ranked between tonight's observations and ``prior``
     (swapped when ``prefer_prior`` says the prior file is fresher).
+
+    ``drifted_sources`` names base sources whose *schema* drifted tonight
+    (the quality gate's :class:`~repro.quality.drift.SchemaDriftEvent`
+    sources).  For an SE touching a drifted source, the catalog's values
+    were observed against a shape that no longer exists, so that rung is
+    demoted: it is consulted *after* the prior store and any value it
+    supplies is labelled :data:`CONFIDENCE_PRIOR` rather than
+    :data:`CONFIDENCE_CATALOG` -- one rung weaker, honestly reported.
 
     Returns ``(cardinalities, confidence, sources)``: ``confidence``
     labels each affected block with the *weakest* source used for it, and
@@ -281,13 +290,19 @@ def degraded_cardinalities(
         except (EstimationError, KeyError, ValueError):
             return None
 
-    rungs: list[tuple[str, object]] = []
     catalog_pair = (CONFIDENCE_CATALOG, store_estimator(catalog_statistics))
     prior_pair = (CONFIDENCE_PRIOR, store_estimator(prior))
     ordered = (
         [prior_pair, catalog_pair] if prefer_prior else [catalog_pair, prior_pair]
     )
-    rungs.extend(pair for pair in ordered if pair[1] is not None)
+    rungs = [pair for pair in ordered if pair[1] is not None]
+    # drift-suspect SEs: prior first, and the catalog answers at prior trust
+    demoted = [
+        (CONFIDENCE_PRIOR, estimator_)
+        for _label, estimator_ in (prior_pair, catalog_pair)
+        if estimator_ is not None
+    ]
+    drifted_sources = set(drifted_sources or ())
 
     independence = None
 
@@ -302,11 +317,18 @@ def degraded_cardinalities(
         needed = [se for se in block.join_ses() if se not in cards]
         if not needed:
             continue
+        drifted_names: set[str] = set()
+        if drifted_sources:
+            for name, inp in block.inputs.items():
+                if inp.base_name in drifted_sources:
+                    drifted_names.add(name)
+                    drifted_names.update(inp.stage_names())
         block_sources: dict[str, str] = {}
         for se in needed:
+            ladder = demoted if se.relations & drifted_names else rungs
             value = None
             label = CONFIDENCE_NONE
-            for rung_label, rung_estimator in rungs:
+            for rung_label, rung_estimator in ladder:
                 try:
                     value = rung_estimator.cardinality(se)
                     label = rung_label

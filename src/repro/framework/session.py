@@ -70,6 +70,13 @@ class EtlSession:
     the catalog, and runs of *other* workflows sharing the same catalog
     file inherit tonight's observations.
 
+    Quality: ``contracts`` (a
+    :class:`~repro.quality.contracts.ContractSet`) arms the data-quality
+    gate on every run with the ``on_drift`` schema policy; a shared
+    ``quarantine`` (:class:`~repro.quality.quarantine.QuarantineStore`)
+    accumulates each night's dead-letter rows so the session's statistics
+    are only ever learned from rows that honored their source contracts.
+
     Observability: ``metrics`` (a
     :class:`~repro.obs.metrics.MetricsRegistry`) aggregates the standard
     run series across every run of the session -- several sessions may
@@ -93,6 +100,9 @@ class EtlSession:
     stats_catalog: "object | None" = None  # shared StatisticsCatalog
     metrics: "object | None" = None  # shared MetricsRegistry
     tracing: bool = False  # span tree per run, on record.report.trace
+    contracts: "object | None" = None  # quality.ContractSet for every run
+    on_drift: str | None = None  # schema-drift policy when contracts are set
+    quarantine: "object | None" = None  # shared QuarantineStore across runs
     _prior_observations: StatisticsStore | None = None
 
     def __post_init__(self) -> None:
@@ -123,6 +133,9 @@ class EtlSession:
             run_id=f"run{index}",
             tracer=tracer,
             metrics=self.metrics,
+            contracts=self.contracts,
+            on_drift=self.on_drift,
+            quarantine=self.quarantine,
         )
         self._retain_observations(report)
 

@@ -67,7 +67,7 @@ def write_trace(trace: "Tracer | Span", path: str | Path) -> None:
 def _load_document(path: str | Path, kind: str, version: int) -> dict:
     try:
         text = Path(path).read_text()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
         raise PersistenceError(f"cannot read {kind} file {path}: {exc}") from exc
     try:
         doc = json.loads(text)

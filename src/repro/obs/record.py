@@ -28,7 +28,9 @@ def record_run_metrics(
 
     Counters: ``etl_runs_total``, ``etl_run_failures_total`` (labelled by
     failure kind), ``etl_statistics_tapped_total``,
-    ``etl_catalog_hits_total``, ``etl_plans_improved_total``.  Gauges:
+    ``etl_catalog_hits_total``, ``etl_plans_improved_total``,
+    ``etl_rows_quarantined_total`` (per source) and
+    ``etl_schema_drift_events_total`` (per source and drift kind).  Gauges:
     ``etl_plan_cost``, ``etl_selection_cost``.  Histograms:
     ``etl_phase_seconds`` (labelled by phase) and, when the report's
     trace carries estimated-vs-actual rows, ``etl_estimation_rel_error``.
@@ -74,6 +76,23 @@ def record_run_metrics(
     )
     for phase, seconds in report.timings.items():
         phases.observe(seconds, phase=phase, **labels)
+
+    quarantined = getattr(report, "quarantined", None)
+    if quarantined:
+        rows = registry.counter(
+            "etl_rows_quarantined_total",
+            "source rows diverted to dead-letter tables by contracts",
+        )
+        for source, table in sorted(quarantined.items()):
+            rows.inc(table.num_rows, source=source, **labels)
+    schema_drift = getattr(report, "schema_drift", None)
+    if schema_drift:
+        events = registry.counter(
+            "etl_schema_drift_events_total",
+            "schema drift events resolved by the quality gate",
+        )
+        for event in schema_drift:
+            events.inc(source=event.source, kind=event.kind, **labels)
 
     drift = getattr(report, "drift", None)
     if drift is not None:

@@ -1,0 +1,117 @@
+"""Advisory catalog locking and merge-on-save (concurrent fleet runs)."""
+
+import os
+import time
+
+import pytest
+
+from repro.core.persistence import PersistenceError
+from repro.core.statistics import Statistic
+from repro.catalog.store import StatisticsCatalog, catalog_lock
+
+pytestmark = pytest.mark.catalog
+
+
+def _stat(name="R"):
+    from repro.algebra.expressions import SubExpression
+
+    return Statistic.card(SubExpression.of(name))
+
+
+def _catalog(path, **entries):
+    catalog = StatisticsCatalog.open(path)
+    for key, (value, observed_at) in entries.items():
+        catalog.record(
+            key, f"se:{key}", _stat(), value,
+            workflow="wf", run_id="r", observed_at=observed_at,
+        )
+    return catalog
+
+
+class TestCatalogLock:
+    def test_lock_file_created_and_removed(self, tmp_path):
+        target = tmp_path / "catalog.json"
+        lock = tmp_path / "catalog.json.lock"
+        with catalog_lock(target):
+            assert lock.exists()
+        assert not lock.exists()
+
+    def test_live_contender_times_out(self, tmp_path):
+        target = tmp_path / "catalog.json"
+        with catalog_lock(target):
+            with pytest.raises(PersistenceError, match="locked by another run"):
+                with catalog_lock(target, timeout=0.15, poll=0.01):
+                    pass  # pragma: no cover - acquisition must fail
+
+    def test_stale_lock_is_taken_over(self, tmp_path):
+        target = tmp_path / "catalog.json"
+        lock = tmp_path / "catalog.json.lock"
+        # a dead run's leftover: present, flocked by nobody, old mtime
+        lock.write_text("pid=0\n")
+        old = time.time() - 3600
+        os.utime(lock, (old, old))
+        acquired = False
+        with catalog_lock(target, timeout=1.0, stale_after=60.0, poll=0.01):
+            acquired = True
+        assert acquired
+
+    def test_reentrant_after_release(self, tmp_path):
+        target = tmp_path / "catalog.json"
+        for _ in range(3):
+            with catalog_lock(target):
+                pass
+
+
+class TestMergeOnSave:
+    def test_concurrent_saves_converge_to_the_union(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        a = _catalog(path, ka=(10, 100.0))
+        b = _catalog(path, kb=(20, 100.0))
+        a.save()
+        b.save()  # must fold a's entry in, not clobber it
+        merged = StatisticsCatalog.open(path)
+        assert set(merged.entries) == {"ka", "kb"}
+
+    def test_newer_observation_wins_on_both_sides(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        older = _catalog(path, k=(1, 100.0))
+        newer = _catalog(path, k=(2, 200.0))
+        newer.save()
+        older.save()  # disk entry is newer: keep it
+        assert StatisticsCatalog.open(path).entries["k"].value() == 2
+        newest = _catalog(path, k=(3, 300.0))
+        newest.save()  # in-memory entry is newer: overwrite
+        assert StatisticsCatalog.open(path).entries["k"].value() == 3
+
+    def test_same_timestamp_keeps_local_stale_mark(self, tmp_path):
+        # tonight's drift scan marks an entry stale; a merge against the
+        # identically-timestamped on-disk copy must not resurrect it
+        path = tmp_path / "catalog.json"
+        catalog = _catalog(path, k=(1, 100.0))
+        catalog.save()
+        catalog.mark_stale(["k"])
+        catalog.save()
+        assert StatisticsCatalog.open(path).entries["k"].stale
+
+    def test_gc_save_does_not_resurrect_dropped_entries(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        catalog = _catalog(path, keep=(1, time.time()), drop=(2, 1.0))
+        catalog.save()
+        removed = catalog.gc(ttl=3600.0)
+        assert removed == 1
+        catalog.save(merge=False)  # the gc contract: no merge
+        assert set(StatisticsCatalog.open(path).entries) == {"keep"}
+
+    def test_save_without_merge_clobbers(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _catalog(path, ka=(10, 100.0)).save()
+        other = _catalog(tmp_path / "other.json", kb=(20, 100.0))
+        other.save(path, merge=False)
+        assert set(StatisticsCatalog.open(path).entries) == {"kb"}
+
+    def test_corrupt_disk_catalog_is_replaced_not_fatal(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        catalog = _catalog(path, k=(1, 100.0))
+        path.write_text("{ truncated")  # corrupted between open and save
+        catalog.save()
+        assert set(StatisticsCatalog.open(path).entries) == {"k"}

@@ -83,6 +83,74 @@ class TestFaultSpec:
             FaultSpec.from_dict({"target": "B1"})
 
 
+class TestDirtyFaultSpecs:
+    def test_dirty_kind_needs_fraction_or_rows(self):
+        for kind in ("corrupt-row", "type-flip", "null-burst"):
+            with pytest.raises(FaultError, match="fraction"):
+                FaultSpec(target="src", kind=kind)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(FaultError, match="fraction"):
+            FaultSpec(target="src", kind="corrupt-row", fraction=1.5)
+        with pytest.raises(FaultError, match="fraction"):
+            FaultSpec(target="src", kind="null-burst", fraction=-0.1)
+
+    def test_fraction_rejected_on_non_dirty_kinds(self):
+        with pytest.raises(FaultError, match="fraction"):
+            FaultSpec(target="B1", kind="transient", fraction=0.1)
+
+    def test_column_rename_needs_column(self):
+        with pytest.raises(FaultError, match="column"):
+            FaultSpec(target="src", kind="column-rename")
+
+    def test_rename_to_only_for_column_rename(self):
+        with pytest.raises(FaultError, match="rename_to"):
+            FaultSpec(target="src", kind="null-burst", rows=1,
+                      rename_to="x")
+
+    def test_dirty_dict_round_trip(self):
+        specs = (
+            FaultSpec(target="Trade", kind="corrupt-row", fraction=0.01),
+            FaultSpec(target="DimAccount", kind="null-burst", rows=3,
+                      column="account_id"),
+            FaultSpec(target="DimSecurity", kind="type-flip", fraction=0.5),
+            FaultSpec(target="DimDate", kind="column-rename",
+                      column="year_id", rename_to="yr"),
+        )
+        for spec in specs:
+            assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_injection_is_deterministic_and_tracked(self):
+        table = Table.wrap({"id": list(range(100)), "v": list(range(100))})
+        plan = FaultPlan(
+            (FaultSpec(target="src", kind="null-burst", fraction=0.1),),
+            seed=CHAOS_SEED,
+        )
+        first = plan.injector()
+        poisoned = first.apply_sources({"src": table})
+        victims = first.dirty_rows["src"]
+        assert victims and len(victims) == 10
+        # same seed, fresh injector: identical victim set and values
+        second = plan.injector()
+        again = second.apply_sources({"src": table})
+        assert second.dirty_rows["src"] == victims
+        assert list(again["src"].rows()) == list(poisoned["src"].rows())
+        # the untouched original is untouched
+        assert None not in set(table.column("v"))
+
+    def test_rename_of_missing_column_is_a_noop(self):
+        # glob targets may span heterogeneous schemas; a rename that finds
+        # nothing to rename silently passes the table through
+        table = Table.wrap({"id": [1, 2]})
+        inj = FaultPlan(
+            (FaultSpec(target="src", kind="column-rename",
+                       column="ghost", rename_to="boo"),),
+            seed=CHAOS_SEED,
+        ).injector()
+        out = inj.apply_sources({"src": table})
+        assert out["src"].attrs == ("id",)
+
+
 class TestFaultPlan:
     def test_file_round_trip(self, tmp_path):
         plan = FaultPlan(

@@ -1,0 +1,173 @@
+"""Unit tests for schema-drift reconciliation."""
+
+import pytest
+
+from repro.engine.table import Table
+from repro.quality import (
+    ColumnContract,
+    QualityError,
+    SchemaDriftError,
+    SourceContract,
+    reconcile_schema,
+)
+
+
+def _contract(**types):
+    return SourceContract(
+        source="t",
+        columns=tuple(
+            ColumnContract(name=name, type=typ) for name, typ in types.items()
+        ),
+    )
+
+
+CONTRACT = _contract(id="int", name="str", score="float")
+
+
+def _clean():
+    return Table.wrap(
+        {"id": [1, 2], "name": ["a", "b"], "score": [1.5, 2.0]}
+    )
+
+
+class TestNoDrift:
+    def test_matching_table_passes_untouched(self):
+        table = _clean()
+        out, events = reconcile_schema(table, CONTRACT, "strict")
+        assert out is table and events == []
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(QualityError):
+            reconcile_schema(_clean(), CONTRACT, "lenient")
+
+
+class TestExtraColumns:
+    def _table(self):
+        return _clean().with_column("debug", ["x", "y"])
+
+    def test_strict_refuses(self):
+        with pytest.raises(SchemaDriftError, match="unexpected column"):
+            reconcile_schema(self._table(), CONTRACT, "strict")
+
+    @pytest.mark.parametrize("policy", ["ignore-extra", "coerce"])
+    def test_lenient_policies_drop(self, policy):
+        out, events = reconcile_schema(self._table(), CONTRACT, policy)
+        assert out.attrs == ("id", "name", "score")
+        assert [(e.kind, e.column, e.resolution) for e in events] == [
+            ("added", "debug", "dropped-extra")
+        ]
+
+
+class TestRenamedColumns:
+    def _table(self):
+        return Table.wrap(
+            {"id": [1, 2], "name": ["a", "b"], "score_v2": [1.5, 2.0]}
+        )
+
+    def test_coerce_renames_back(self):
+        out, events = reconcile_schema(self._table(), CONTRACT, "coerce")
+        assert out.attrs == ("id", "name", "score")
+        assert out.column("score") == [1.5, 2.0]
+        assert [(e.kind, e.column) for e in events] == [("renamed", "score")]
+
+    def test_strict_refuses(self):
+        with pytest.raises(SchemaDriftError):
+            reconcile_schema(self._table(), CONTRACT, "strict")
+
+    def test_ambiguous_rename_is_not_guessed(self):
+        # two type-compatible unknown columns: neither is claimed, and the
+        # non-nullable missing column becomes a hard error even under coerce
+        contract = SourceContract(
+            source="t",
+            columns=(
+                ColumnContract(name="id", type="int"),
+                ColumnContract(name="score", type="float", nullable=False),
+            ),
+        )
+        table = Table.wrap(
+            {"id": [1], "score_a": [1.5], "score_b": [2.5]}
+        )
+        with pytest.raises(SchemaDriftError, match="missing"):
+            reconcile_schema(table, contract, "coerce")
+
+
+class TestRetypedColumns:
+    def _table(self):
+        return Table.wrap(
+            {"id": ["1", "2"], "name": ["a", "b"], "score": [1.5, 2.0]}
+        )
+
+    def test_coerce_casts_wholesale(self):
+        out, events = reconcile_schema(self._table(), CONTRACT, "coerce")
+        assert out.column("id") == [1, 2]
+        assert [(e.kind, e.column, e.resolution) for e in events] == [
+            ("retyped", "id", "coerced")
+        ]
+
+    def test_strict_refuses(self):
+        with pytest.raises(SchemaDriftError, match="arrived as str"):
+            reconcile_schema(self._table(), CONTRACT, "strict")
+
+    def test_partial_poison_is_not_a_retype(self):
+        # unanimity rule: one stray string among ints is row-level dirt,
+        # not schema drift -- validation quarantines it instead
+        table = Table.wrap(
+            {"id": [1, "x"], "name": ["a", "b"], "score": [1.5, 2.0]}
+        )
+        out, events = reconcile_schema(table, CONTRACT, "strict")
+        assert out is table and events == []
+
+    def test_int_column_is_a_valid_float_column(self):
+        table = Table.wrap(
+            {"id": [1, 2], "name": ["a", "b"], "score": [1, 2]}
+        )
+        out, events = reconcile_schema(table, CONTRACT, "strict")
+        assert out is table and events == []
+
+    def test_uncoercible_values_left_for_quarantine(self):
+        table = Table.wrap(
+            {"id": ["1", "oops"], "name": ["a", "b"], "score": [1.5, 2.0]}
+        )
+        out, events = reconcile_schema(table, CONTRACT, "coerce")
+        assert out.column("id") == [1, "oops"]
+        assert events[0].kind == "retyped"
+
+
+class TestDroppedColumns:
+    def test_coerce_fills_nullable_with_nulls(self):
+        table = Table.wrap({"id": [1, 2], "name": ["a", "b"]})
+        out, events = reconcile_schema(table, CONTRACT, "coerce")
+        assert out.column("score") == [None, None]
+        assert [(e.kind, e.column, e.resolution) for e in events] == [
+            ("dropped", "score", "filled-null")
+        ]
+
+    def test_non_nullable_missing_is_an_error_even_under_coerce(self):
+        contract = SourceContract(
+            source="t",
+            columns=(
+                ColumnContract(name="id", type="int"),
+                ColumnContract(name="score", type="float", nullable=False),
+            ),
+        )
+        table = Table.wrap({"id": [1, 2]})
+        with pytest.raises(SchemaDriftError, match="not nullable"):
+            reconcile_schema(table, contract, "coerce")
+
+    @pytest.mark.parametrize("policy", ["strict", "ignore-extra"])
+    def test_stricter_policies_refuse(self, policy):
+        table = Table.wrap({"id": [1, 2], "name": ["a", "b"]})
+        with pytest.raises(SchemaDriftError):
+            reconcile_schema(table, CONTRACT, policy)
+
+
+class TestEventRoundtrip:
+    def test_to_from_dict(self):
+        from repro.quality import SchemaDriftEvent
+
+        event = SchemaDriftEvent(
+            source="t", kind="renamed", column="score",
+            detail="arrived as 'score_v2'", resolution="renamed-back",
+        )
+        assert SchemaDriftEvent.from_dict(event.to_dict()) == event
+        assert "renamed" in event.describe()

@@ -1,0 +1,182 @@
+"""Quality gate wired through the pipeline: catalog invalidation, rung
+demotion, metrics, tracing, and session threading."""
+
+import pytest
+
+from repro.catalog.store import StatisticsCatalog
+from repro.engine.faults import FaultPlan, FaultSpec
+from repro.engine.scheduler import RetryPolicy
+from repro.framework.pipeline import StatisticsPipeline
+from repro.framework.session import EtlSession
+from repro.quality import ContractSet, QuarantineStore
+from repro.workloads import case
+
+WORKFLOW = 25
+SEED = 1337
+FAST = RetryPolicy(max_retries=1, base_delay=0.001, jitter=0.0,
+                   seed=SEED, sleep=lambda s: None)
+
+RENAME_DIMDATE = FaultSpec(
+    target="DimDate", kind="column-rename", column="year_id", rename_to="yr"
+)
+
+
+def _sources():
+    return case(WORKFLOW).tables(scale=0.05, seed=7)
+
+
+def _contracts():
+    return ContractSet.infer(_sources())
+
+
+def _run_once(**kwargs):
+    pipeline = StatisticsPipeline(
+        case(WORKFLOW).build(), solver="greedy"
+    )
+    return pipeline.run_once(_sources(), **kwargs)
+
+
+class TestSchemaDriftInvalidation:
+    def test_drift_marks_matching_catalog_entries_stale(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _run_once(stats_catalog=StatisticsCatalog.open(path), run_id="n1")
+        before = StatisticsCatalog.open(path)
+        assert before.entries and not any(
+            e.stale for e in before.entries.values()
+        )
+
+        report = _run_once(
+            stats_catalog=StatisticsCatalog.open(path),
+            contracts=_contracts(),
+            faults=FaultPlan((RENAME_DIMDATE,), seed=SEED),
+            run_id="n2",
+        )
+        assert [e.kind for e in report.schema_drift] == ["renamed"]
+        assert report.drift_invalidated > 0
+        assert "invalidated by schema drift" in report.describe()
+
+    def test_clean_run_invalidates_nothing(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _run_once(stats_catalog=StatisticsCatalog.open(path), run_id="n1")
+        report = _run_once(
+            stats_catalog=StatisticsCatalog.open(path),
+            contracts=_contracts(),
+            run_id="n2",
+        )
+        assert report.schema_drift == ()
+        assert report.drift_invalidated == 0
+
+
+class TestConfidenceDemotion:
+    def _degraded(self, path, *, drift):
+        faults = [FaultSpec(target="B1", kind="permanent")]
+        if drift:
+            faults.append(RENAME_DIMDATE)
+        return _run_once(
+            stats_catalog=StatisticsCatalog.open(path),
+            contracts=_contracts(),
+            faults=FaultPlan(tuple(faults), seed=SEED),
+            retry=FAST,
+            run_id="degraded",
+        )
+
+    def test_drifted_source_reports_prior_level_trust(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        _run_once(stats_catalog=StatisticsCatalog.open(path), run_id="n1")
+
+        steady = self._degraded(path, drift=False)
+        assert steady.degraded["B2"] == "catalog"
+
+        demoted = self._degraded(path, drift=True)
+        # B2 joins the drifted DimDate: the catalog still answers, but at
+        # prior-level trust -- one rung weaker, honestly reported
+        assert demoted.degraded["B2"] == "prior"
+        # B3 joins DimSecurity, which did not drift: full catalog trust
+        assert demoted.degraded["B3"] == "catalog"
+
+
+class TestObservability:
+    def test_quarantine_metrics_recorded(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        _run_once(
+            contracts=_contracts(),
+            faults=FaultPlan(
+                (
+                    FaultSpec(target="Trade", kind="null-burst", rows=2),
+                    RENAME_DIMDATE,
+                ),
+                seed=SEED,
+            ),
+            metrics=metrics,
+        )
+        text = metrics.render_prometheus()
+        quarantined = [
+            line for line in text.splitlines()
+            if line.startswith("etl_rows_quarantined_total{")
+        ]
+        assert quarantined and 'source="Trade"' in quarantined[0]
+        assert quarantined[0].endswith(" 2")
+        drifted = [
+            line for line in text.splitlines()
+            if line.startswith("etl_schema_drift_events_total{")
+        ]
+        assert drifted and 'kind="renamed"' in drifted[0]
+        assert 'source="DimDate"' in drifted[0]
+
+    def test_clean_run_emits_no_quarantine_series(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        _run_once(contracts=_contracts(), metrics=metrics)
+        text = metrics.render_prometheus()
+        assert "etl_rows_quarantined_total" not in text
+
+    def test_trace_carries_quarantine_points(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        _run_once(
+            contracts=_contracts(),
+            faults=FaultPlan(
+                (FaultSpec(target="Trade", kind="null-burst", rows=2),),
+                seed=SEED,
+            ),
+            tracer=tracer,
+        )
+        points = tracer.root.find(kind="quarantine")
+        assert {p.name for p in points} == {
+            "Trade", "DimAccount", "DimDate", "DimSecurity"
+        }
+        trade = next(p for p in points if p.name == "Trade")
+        assert trade.attrs["quarantined"] == 2
+
+
+class TestSessionThreading:
+    def test_session_accumulates_the_dead_letter(self):
+        quarantine = QuarantineStore()
+        session = EtlSession(
+            StatisticsPipeline(case(WORKFLOW).build(), solver="greedy"),
+            contracts=_contracts(),
+            quarantine=quarantine,
+            faults=FaultPlan(
+                (FaultSpec(target="Trade", kind="corrupt-row", rows=3),),
+                seed=SEED,
+            ),
+        )
+        record = session.run(_sources())
+        assert record.report.rows_quarantined == 3
+        assert quarantine.total_rows == 3
+
+    def test_strict_policy_fails_the_run_loudly(self):
+        from repro.quality import SchemaDriftError
+
+        session = EtlSession(
+            StatisticsPipeline(case(WORKFLOW).build(), solver="greedy"),
+            contracts=_contracts(),
+            on_drift="strict",
+            faults=FaultPlan((RENAME_DIMDATE,), seed=SEED),
+        )
+        with pytest.raises(SchemaDriftError):
+            session.run(_sources())

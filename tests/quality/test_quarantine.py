@@ -1,0 +1,79 @@
+"""Dead-letter persistence: save, reload, and corruption handling."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import PersistenceError
+from repro.engine.table import Table
+from repro.quality import QuarantineStore, SchemaDriftEvent, Violation
+
+
+def _store():
+    store = QuarantineStore()
+    store.add(
+        "customers",
+        Table.wrap({"id": [3, 9], "name": [None, "x"]}),
+        [
+            Violation("customers", 0, "name", "null", "not nullable"),
+            Violation("customers", 1, "id", "domain", "out of range"),
+        ],
+        [
+            SchemaDriftEvent(
+                source="customers", kind="added", column="debug",
+                resolution="dropped-extra",
+            )
+        ],
+    )
+    store.add("orders", Table.empty(("id",)), [])
+    return store
+
+
+class TestRoundtrip:
+    def test_save_skips_clean_sources(self, tmp_path):
+        written = _store().save(tmp_path)
+        assert [p.name for p in written] == ["quarantine-customers.json"]
+
+    def test_load_dir_restores_everything(self, tmp_path):
+        _store().save(tmp_path)
+        loaded = QuarantineStore.load_dir(tmp_path)
+        assert loaded.total_rows == 2
+        assert loaded.tables["customers"].column("id") == [3, 9]
+        assert [v.code for v in loaded.all_violations()] == ["null", "domain"]
+        assert [e.kind for e in loaded.drift_events()] == ["added"]
+
+    def test_missing_directory_is_operational_error(self, tmp_path):
+        with pytest.raises(PersistenceError, match="not found"):
+            QuarantineStore.load_dir(tmp_path / "nope")
+
+    def test_truncated_artifact_is_operational_error(self, tmp_path):
+        _store().save(tmp_path)
+        artifact = tmp_path / "quarantine-customers.json"
+        artifact.write_text(artifact.read_text()[:25])
+        with pytest.raises(PersistenceError):
+            QuarantineStore.load_dir(tmp_path)
+
+    def test_artifact_without_table_is_operational_error(self, tmp_path):
+        (tmp_path / "quarantine-x.json").write_text(
+            json.dumps({"format_version": 1, "kind": "quarantine"})
+        )
+        with pytest.raises(PersistenceError, match="no table"):
+            QuarantineStore.load_dir(tmp_path)
+
+    def test_corrupt_violation_is_operational_error(self, tmp_path):
+        _store().save(tmp_path)
+        artifact = tmp_path / "quarantine-customers.json"
+        doc = json.loads(artifact.read_text())
+        doc["violations"] = [{"row": "NaN"}]
+        artifact.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError, match="violation"):
+            QuarantineStore.load_dir(tmp_path)
+
+
+class TestDescribe:
+    def test_groups_violations_by_column_and_code(self):
+        text = _store().describe()
+        assert "2 row(s)" in text
+        assert "name [null] x1" in text
+        assert "id [domain] x1" in text
+        assert "drift: customers.debug: added" in text

@@ -1,0 +1,158 @@
+"""CLI surface for the quality layer, plus corrupt-file hardening.
+
+Operational errors -- truncated checkpoints, binary-garbage catalogs,
+corrupt traces and fault plans -- must exit 1 with one line on stderr,
+never a traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    return main(argv)
+
+
+@pytest.fixture
+def run_args(tmp_path):
+    def build(*extra):
+        return ["run", "--number", "3", "--scale", "0.05", *extra]
+
+    return build
+
+
+class TestRunContracts:
+    def test_bootstrap_then_enforce(self, run_args, tmp_path, capsys):
+        contracts = tmp_path / "contracts.json"
+        assert _run(run_args("--contracts", str(contracts))) == 0
+        out = capsys.readouterr().out
+        assert "contracts inferred" in out
+        assert contracts.exists()
+        # second run loads the saved file instead of re-inferring
+        assert _run(run_args("--contracts", str(contracts))) == 0
+        out = capsys.readouterr().out
+        assert "contracts inferred" not in out
+        assert "quality gate: 0 row(s) quarantined" in out
+
+    def test_quarantine_dir_requires_contracts(self, run_args, tmp_path, capsys):
+        assert _run(run_args("--quarantine-dir", str(tmp_path / "dead"))) == 1
+        assert "needs --contracts" in capsys.readouterr().err
+
+    def test_dirty_run_writes_dead_letter(self, run_args, tmp_path, capsys):
+        contracts = tmp_path / "contracts.json"
+        dead = tmp_path / "dead"
+        faults = tmp_path / "faults.json"
+        assert _run(run_args("--contracts", str(contracts))) == 0
+        capsys.readouterr()
+        faults.write_text(json.dumps({
+            "seed": 1337,
+            "faults": [
+                {"target": "TaxRate", "kind": "null-burst", "rows": 2}
+            ],
+        }))
+        assert _run(run_args(
+            "--contracts", str(contracts),
+            "--quarantine-dir", str(dead),
+            "--faults", str(faults),
+        )) == 0
+        out = capsys.readouterr().out
+        assert "quality gate: 2 row(s) quarantined" in out
+        assert "1 artifact(s) written" in out
+
+        assert _run(["quality", "report", str(dead)]) == 0
+        report = capsys.readouterr().out
+        assert "TaxRate: 2 row(s) quarantined" in report
+        assert "[null]" in report
+
+    def test_on_drift_strict_is_an_operational_error(
+        self, run_args, tmp_path, capsys
+    ):
+        contracts = tmp_path / "contracts.json"
+        faults = tmp_path / "faults.json"
+        assert _run(run_args("--contracts", str(contracts))) == 0
+        capsys.readouterr()
+        faults.write_text(json.dumps({
+            "seed": 1,
+            "faults": [{
+                "target": "TaxRate", "kind": "column-rename",
+                "column": "tax_id",
+            }],
+        }))
+        assert _run(run_args(
+            "--contracts", str(contracts),
+            "--faults", str(faults),
+            "--on-drift", "strict",
+        )) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "missing" in err
+
+
+class TestQualityCommands:
+    def test_infer_writes_contracts(self, tmp_path, capsys):
+        out_file = tmp_path / "contracts.json"
+        assert _run([
+            "quality", "infer", "--number", "3", "--out", str(out_file)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "inferred and saved" in out and "tax_id:int" in out
+        assert json.loads(out_file.read_text())["kind"] == "source-contracts"
+
+    def test_report_missing_directory_exits_one(self, tmp_path, capsys):
+        assert _run(["quality", "report", str(tmp_path / "nope")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+
+class TestCorruptFileHardening:
+    """Satellite: every versioned JSON loader fails operationally."""
+
+    def test_truncated_checkpoint(self, run_args, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.json"
+        checkpoint.write_text('{"format_version": 1, "blocks"')
+        assert _run(run_args("--resume", str(checkpoint))) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_binary_garbage_checkpoint(self, run_args, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.json"
+        checkpoint.write_bytes(b"\x80\x81\xfe\xff garbage")
+        assert _run(run_args("--resume", str(checkpoint))) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_binary_garbage_catalog(self, tmp_path, capsys):
+        catalog = tmp_path / "catalog.json"
+        catalog.write_bytes(b"\x80\x81\xfe\xff")
+        assert _run(["catalog", "show", str(catalog)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_truncated_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        trace.write_text('{"format_version": 1, "root": ')
+        assert _run(["trace", "show", str(trace)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_binary_garbage_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        trace.write_bytes(b"\xff\xfe\x80")
+        assert _run(["trace", "show", str(trace)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_binary_garbage_faults(self, run_args, tmp_path, capsys):
+        faults = tmp_path / "faults.json"
+        faults.write_bytes(b"\x80\xff not json")
+        assert _run(run_args("--faults", str(faults))) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_binary_garbage_workflow(self, tmp_path, capsys):
+        workflow = tmp_path / "wf.json"
+        workflow.write_bytes(b"\x80\xff\x00")
+        assert _run(["analyze", str(workflow)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_corrupt_contracts_file(self, run_args, tmp_path, capsys):
+        contracts = tmp_path / "contracts.json"
+        contracts.write_text('{"format_version": 1, "sources": "nope"}')
+        assert _run(run_args("--contracts", str(contracts))) == 1
+        assert "error:" in capsys.readouterr().err

@@ -215,6 +215,15 @@ class WorkflowSigner:
         """Catalog key for an SE (shared by all statistics on it)."""
         return digest(self.se_signature(se))
 
+    def block_output_signature(self, block: Block):
+        """Canonical signature of a block's output feed.
+
+        Join-tree invariant by construction (edges are canonicalized),
+        so consumers that must distinguish plan shapes -- the compiled
+        plan cache -- add the tree to their keys separately.
+        """
+        return self._block_output_sig(block)
+
     def statistic_signature(self, stat: Statistic):
         return {
             "kind": stat.kind.value,

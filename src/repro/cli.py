@@ -207,6 +207,7 @@ def _cmd_run(args) -> int:
         solver=args.solver,
         backend=args.backend,
         workers=args.workers,
+        compile=False if args.no_compile else None,
     )
 
     faults = FaultPlan.from_file(args.faults) if args.faults else None
@@ -587,6 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="parallel block-scheduler width (1 = serial)",
+    )
+    p.add_argument(
+        "--no-compile",
+        action="store_true",
+        help="skip plan compilation and run the backend's interpreter",
     )
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)

@@ -198,6 +198,15 @@ class ExecutionBackend:
         """Turn the taps' accumulated state into a statistics store."""
         raise NotImplementedError
 
+    def compiled_profile(self):
+        """Execution profile for compiled plans, or ``None`` to opt out.
+
+        Backends that return ``None`` (the default, so third-party
+        backends are unaffected) always execute through their own
+        :meth:`execute_block` interpreter.
+        """
+        return None
+
 
 class BackendExecutor:
     """The shared plan-walking core: schedules blocks and boundaries.
@@ -212,6 +221,9 @@ class BackendExecutor:
         analysis: BlockAnalysis,
         backend: "ExecutionBackend | str | None" = None,
         workers: int = 1,
+        *,
+        compile_plans: "bool | None" = None,
+        plan_cache=None,
     ):
         self.analysis = analysis
         if backend is None:
@@ -220,6 +232,18 @@ class BackendExecutor:
             backend = get_backend(backend)
         self.backend = backend
         self.workers = max(int(workers), 1)
+        #: None defers to the process default (``REPRO_COMPILE``)
+        self.compile_plans = compile_plans
+        #: created lazily on the first compiled run when not injected, so
+        #: a long-lived executor gets warm-cache behaviour for free
+        self.plan_cache = plan_cache
+
+    def _compile_enabled(self) -> bool:
+        if self.compile_plans is not None:
+            return bool(self.compile_plans)
+        from repro.engine.compile import compile_enabled_default
+
+        return compile_enabled_default()
 
     def run(
         self,
@@ -298,6 +322,10 @@ class BackendExecutor:
             estimates=estimates,
         )
 
+        compiled, profile, engine = self._compile(
+            run, trees, quality, tracer, trace_parent
+        )
+
         resumed: set[str] = set()
         if checkpoint is not None:
             resumed = checkpoint.restore(self.analysis, run)
@@ -314,6 +342,15 @@ class BackendExecutor:
             if block.name in resumed:
                 continue
             tree = trees.get(block.name, block.initial_tree)
+            runner = None
+            if compiled is not None:
+                program = compiled.get(block.name)
+                if program is not None:
+                    from repro.engine.compile import CompiledBlockRunner
+
+                    runner = CompiledBlockRunner(
+                        program, block, profile, engine
+                    )
             tasks.append(
                 Task(
                     name=block.name,
@@ -321,7 +358,9 @@ class BackendExecutor:
                     requires=tuple(
                         sorted({inp.base_name for inp in block.inputs.values()})
                     ),
-                    fn=partial(self._run_block, block, tree, ctx, checkpoint),
+                    fn=partial(
+                        self._run_block, block, tree, ctx, checkpoint, runner
+                    ),
                     kind="block",
                 )
             )
@@ -366,10 +405,63 @@ class BackendExecutor:
         return run
 
     # ------------------------------------------------------------------
+    def _compile(self, run, trees, quality, tracer, trace_parent):
+        """Compile every block (cached) unless compilation is off or the
+        backend opts out; returns ``(plan, profile, gather engine)``."""
+        if not self._compile_enabled():
+            return None, None, None
+        profile = self.backend.compiled_profile()
+        if profile is None:
+            return None, None, None
+        from repro.engine.compile import (
+            PlanCache,
+            compile_blocks,
+            make_engine,
+        )
+
+        if self.plan_cache is None:
+            self.plan_cache = PlanCache()
+        # schema drift means the cached programs were compiled against a
+        # source shape that no longer holds: evict, never silently reuse
+        for event in run.schema_drift:
+            self.plan_cache.invalidate_source(event.source)
+        tokens = _contract_tokens(quality) if quality is not None else None
+        span = None
+        compiled = None
+        if tracer is not None:
+            span = tracer.start("compile", kind="phase", parent=trace_parent)
+        try:
+            compiled = compile_blocks(
+                self.analysis,
+                trees,
+                backend=self.backend.name,
+                profile=profile,
+                cache=self.plan_cache,
+                context_tokens=tokens,
+            )
+        finally:
+            if tracer is not None and span is not None:
+                tracer.end(
+                    span,
+                    blocks=len(self.analysis.blocks),
+                    fused_ops=compiled.fused_ops if compiled else None,
+                    cache_hits=compiled.cache_hits if compiled else None,
+                    cache_misses=compiled.cache_misses if compiled else None,
+                )
+        return compiled, profile, make_engine(profile.gather)
+
     def _run_block(
-        self, block: Block, tree: PlanTree, ctx: RunContext, checkpoint=None
+        self,
+        block: Block,
+        tree: PlanTree,
+        ctx: RunContext,
+        checkpoint=None,
+        runner=None,
     ) -> None:
-        out = self.backend.execute_block(block, tree, ctx)
+        if runner is not None:
+            out = runner.execute(ctx)
+        else:
+            out = self.backend.execute_block(block, tree, ctx)
         ctx.run.env[block.output_name] = out
         if checkpoint is not None:
             with ctx.lock:
@@ -410,6 +502,21 @@ class BackendExecutor:
         ]
         if missing:
             raise TableError(f"missing source tables: {missing}")
+
+
+def _contract_tokens(quality) -> dict[str, str]:
+    """Per-source contract fingerprints, folded into plan-cache keys so a
+    contract revision is a cache miss rather than a silent stale reuse."""
+    from repro.catalog.signatures import digest
+
+    contracts = getattr(quality, "contracts", None)
+    mapping = getattr(contracts, "contracts", None)
+    if not mapping:
+        return {}
+    return {
+        name: digest(contract.to_dict())
+        for name, contract in mapping.items()
+    }
 
 
 # ---------------------------------------------------------------------------

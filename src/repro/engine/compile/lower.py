@@ -1,0 +1,226 @@
+"""Lowering: algebra blocks + join trees -> physical-operator IR.
+
+One :class:`~repro.engine.compile.ir.BlockProgram` is produced per
+optimizable block.  Lowering mirrors the columnar interpreter's execution
+order *exactly* -- same stage chains, same post-order join walk, same
+floating-operator placement (first join node, in declaration order, whose
+SE covers the anchor), same reject SEs -- so a compiled run fires the
+identical observation points with identical contents.
+
+The fusion happening here is structural: each input's stage chain, each
+join's floating tail, and the block's post-steps become *fused segments*
+(tuples of :class:`~repro.engine.compile.ir.FusedStep` with their
+operator callables pre-resolved), which the runtime executes over whole
+column batches with composed selection vectors instead of per-step table
+materialization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.blocks import Block, BlockAnalysis, Step
+from repro.algebra.expressions import RejectSE, SubExpression
+from repro.algebra.plans import Leaf, PlanTree, leaves as _tree_leaves
+from repro.engine.table import TableError
+
+from repro.engine.compile.ir import (
+    BlockProgram,
+    ChainIR,
+    CompiledPlan,
+    CompiledProfile,
+    FusedStep,
+    JoinIR,
+    PlanIR,
+)
+
+
+class CompileError(TableError):
+    """Raised when a block cannot be lowered to the physical IR."""
+
+
+def _fused(step: Step, se: Optional[SubExpression]) -> FusedStep:
+    """Pre-resolve one anchored step's callable into a fused step."""
+    node = step.node
+    if step.kind == "filter":
+        fn = node.predicate.fn
+        out_attr = None
+    elif step.kind == "transform":
+        fn = node.udf.fn
+        out_attr = step.result_attr if step.result_attr else step.attrs[0]
+    elif step.kind == "project":
+        fn = None
+        out_attr = None
+    else:  # pragma: no cover - analysis only emits the three kinds
+        raise CompileError(f"unknown step kind {step.kind!r}")
+    return FusedStep(
+        kind=step.kind,
+        fn=fn,
+        attrs=tuple(step.attrs),
+        out_attr=out_attr,
+        se=se,
+    )
+
+
+def lower_block(block: Block, tree: PlanTree) -> BlockProgram:
+    """Lower one block under the given join tree."""
+    if {leaf.name for leaf in _tree_leaves(tree)} != set(block.inputs):
+        raise CompileError(
+            f"plan tree for {block.name} does not cover its inputs"
+        )
+
+    obs_ses: list[SubExpression] = []
+    raw_ses: list[SubExpression] = []
+    applied: set[int] = set()
+    fused_ops = 0
+
+    def chain_of(leaf: Leaf) -> ChainIR:
+        nonlocal fused_ops
+        inp = block.inputs[leaf.name]
+        stage_names = inp.stage_names()
+        raw_se = SubExpression.of(stage_names[0])
+        steps = tuple(
+            _fused(step, SubExpression.of(stage))
+            for step, stage in zip(inp.steps, stage_names[1:])
+        )
+        fused_ops += len(steps)
+        raw_ses.append(raw_se)
+        obs_ses.append(raw_se)
+        obs_ses.extend(s.se for s in steps)
+        return ChainIR(leaf.name, inp.base_name, raw_se, steps)
+
+    def build(node: PlanTree) -> PlanIR:
+        nonlocal fused_ops
+        if isinstance(node, Leaf):
+            return chain_of(node)
+        left = build(node.left)
+        right = build(node.right)
+        key = tuple(node.key)
+        rej_key = key[0] if len(key) == 1 else key
+        floating = []
+        for idx, op in enumerate(block.floating):
+            if idx in applied or not (op.anchor <= node.se.relations):
+                continue
+            floating.append(_fused(op.step, None))
+            applied.add(idx)
+        fused_ops += len(floating)
+        obs_ses.append(node.se)
+        return JoinIR(
+            left=left,
+            right=right,
+            key=key,
+            se=node.se,
+            rej_left=RejectSE(node.left.se, rej_key, node.right.se),
+            rej_right=RejectSE(node.right.se, rej_key, node.left.se),
+            floating=tuple(floating),
+        )
+
+    root = build(tree)
+    post = tuple(
+        _fused(step, se)
+        for step, se in zip(block.post_steps, block.post_stage_ses())
+    )
+    fused_ops += len(post)
+    obs_ses.extend(s.se for s in post)
+
+    return BlockProgram(
+        block_name=block.name,
+        output_name=block.output_name,
+        root=root,
+        root_se=tree.se,
+        post=post,
+        obs_ses=tuple(obs_ses),
+        raw_ses=tuple(raw_ses),
+        sources=frozenset(),  # filled in by compile_blocks
+        fused_ops=fused_ops,
+    )
+
+
+def block_source_deps(
+    analysis: BlockAnalysis,
+    block: Block,
+    _memo: Optional[dict] = None,
+) -> frozenset[str]:
+    """Transitive *raw source* names feeding a block.
+
+    Block inputs are either raw sources (``upstream is None``) or another
+    block's boundary output; the walk follows upstream links until it
+    bottoms out at sources.  Schema-drift and contract-change
+    invalidation use this set: an event on any of these sources makes the
+    block's cached program suspect.
+    """
+    memo = _memo if _memo is not None else {}
+    cached = memo.get(block.name)
+    if cached is not None:
+        return cached
+    memo[block.name] = frozenset()  # cycle guard; analysis DAGs are acyclic
+    deps: set[str] = set()
+    for inp in block.inputs.values():
+        if inp.upstream is None:
+            deps.add(inp.base_name)
+        else:
+            deps |= block_source_deps(
+                analysis, analysis.block(inp.upstream.block_name), memo
+            )
+    result = frozenset(deps)
+    memo[block.name] = result
+    return result
+
+
+def compile_blocks(
+    analysis: BlockAnalysis,
+    trees: Optional[dict[str, PlanTree]] = None,
+    *,
+    backend: str = "columnar",
+    profile: Optional[CompiledProfile] = None,
+    cache=None,
+    context_tokens: Optional[dict[str, str]] = None,
+) -> CompiledPlan:
+    """Compile every block of the analysis, consulting ``cache`` if given.
+
+    ``context_tokens`` maps source names to fingerprints of their active
+    contracts; they are folded into cache keys so a contract change is a
+    cache miss rather than a silent reuse.
+    """
+    from dataclasses import replace as _replace
+
+    profile = profile or CompiledProfile()
+    trees = trees or {}
+    tokens = context_tokens or {}
+    programs: dict[str, BlockProgram] = {}
+    hits = misses = 0
+    signer = cache.signer_for(analysis) if cache is not None else None
+    memo: dict = {}
+    for block in analysis.blocks:
+        tree = trees.get(block.name, block.initial_tree)
+        deps = block_source_deps(analysis, block, memo)
+        program = None
+        key = None
+        if cache is not None:
+            key = cache.block_key(
+                signer, block, tree, backend, profile, deps, tokens
+            )
+            program = cache.lookup(key)
+        if program is None:
+            misses += 1
+            program = _replace(lower_block(block, tree), sources=deps)
+            if cache is not None:
+                cache.store(key, program)
+        else:
+            hits += 1
+        programs[block.name] = program
+    return CompiledPlan(
+        backend=backend,
+        chunk_rows=profile.chunk_rows,
+        programs=programs,
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+
+
+__all__ = [
+    "CompileError",
+    "block_source_deps",
+    "compile_blocks",
+    "lower_block",
+]

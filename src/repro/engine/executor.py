@@ -51,6 +51,12 @@ class ColumnarBackend(ExecutionBackend):
     def collect(self, taps: TapSet) -> StatisticsStore:
         return taps.store
 
+    def compiled_profile(self):
+        from repro.engine.compile import CompiledProfile
+
+        # whole-column batches; the reference (pure Python) gather rung
+        return CompiledProfile(chunk_rows=None, gather="python")
+
     # ------------------------------------------------------------------
     def execute_block(self, block: Block, tree: PlanTree, ctx: RunContext) -> Table:
         if {leaf.name for leaf in _tree_leaves(tree)} != set(block.inputs):

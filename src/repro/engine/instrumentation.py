@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.algebra.expressions import AnySE, RejectJoinSE, RejectSE
+from repro.core.histogram import Histogram
 from repro.core.statistics import StatKind, Statistic, StatisticsStore
 from repro.engine.table import Table
 
@@ -33,6 +34,11 @@ class InstrumentationError(ValueError):
 
 class TapSet:
     """Groups requested statistics by observation point and collects them."""
+
+    #: whether :meth:`observe_columns` *accumulates* across calls for the
+    #: same point (streaming taps) or *replaces* (table-level taps) --
+    #: compiled plans batch their observations accordingly
+    additive = False
 
     def __init__(self, stats: Iterable[Statistic] = ()):
         self._by_se: dict[AnySE, list[Statistic]] = {}
@@ -76,6 +82,47 @@ class TapSet:
                 self.store.put(stat, table.histogram(stat.attrs))
             else:
                 self.store.put(stat, table.distinct_count(stat.attrs))
+
+    def value_attrs(self, se: AnySE) -> tuple[str, ...]:
+        """Attributes whose *values* (not just counts) are tapped at ``se``.
+
+        Compiled plans use this to materialize only the columns a
+        histogram/distinct tap actually reads, instead of whole tables.
+        """
+        attrs: set[str] = set()
+        for stat in self._by_se.get(se, ()):
+            if stat.kind is not StatKind.CARDINALITY:
+                attrs.update(stat.attrs)
+        return tuple(sorted(attrs))
+
+    def observe_columns(
+        self,
+        se: AnySE,
+        num_rows: int,
+        columns: dict[str, list] | None = None,
+    ) -> None:
+        """Column-batch counterpart of :meth:`observe`.
+
+        ``columns`` needs to carry (at least) :meth:`value_attrs`; it may
+        be ``None`` when only cardinalities are tapped at this point.
+        Semantics are identical to observing the materialized table.
+        """
+        columns = columns or {}
+        for stat in self._by_se.get(se, []):
+            if stat.kind is StatKind.CARDINALITY:
+                self.store.put(stat, num_rows)
+                continue
+            missing = [a for a in stat.attrs if a not in columns]
+            if missing:
+                raise InstrumentationError(
+                    f"cannot observe {stat!r}: attributes {missing} are "
+                    f"not live at {se!r} (have {tuple(columns)})"
+                )
+            rows = zip(*(columns[a] for a in stat.attrs))
+            if stat.kind is StatKind.HISTOGRAM:
+                self.store.put(stat, Histogram.from_rows(tuple(stat.attrs), rows))
+            else:
+                self.store.put(stat, len(set(rows)))
 
     def missing(self) -> list[Statistic]:
         """Requested statistics that no observation reached (plan bug)."""

@@ -53,6 +53,10 @@ Row = dict
 class StreamingTaps:
     """Per-tuple statistic accumulators, grouped by observation point."""
 
+    #: accumulators increment; compiled plans may feed the same point in
+    #: several column batches and counts/buckets simply add up
+    additive = True
+
     def __init__(self, stats: Iterable[Statistic] = ()):
         self._by_se: dict[AnySE, list[Statistic]] = {}
         self._counters: dict[Statistic, int] = {}
@@ -113,6 +117,45 @@ class StreamingTaps:
                 else:
                     self._distinct[stat].add(value)
 
+    def value_attrs(self, se: AnySE) -> tuple[str, ...]:
+        """Attributes whose values (not just counts) are tapped at ``se``."""
+        attrs: set[str] = set()
+        for stat in self._by_se.get(se, ()):
+            if stat.kind is not StatKind.CARDINALITY:
+                attrs.update(stat.attrs)
+        return tuple(sorted(attrs))
+
+    def observe_columns(
+        self,
+        se: AnySE,
+        num_rows: int,
+        columns: dict[str, list] | None = None,
+    ) -> None:
+        """Column-batch handler: one call per batch, accumulators add up.
+
+        Equivalent to :meth:`observe_row` over each of the batch's rows;
+        compiled plans use it to keep per-tuple semantics (partial counts
+        on failure, accumulation across chunks) at whole-column speed.
+        """
+        columns = columns or {}
+        for stat in self._by_se.get(se, ()):
+            if stat.kind is StatKind.CARDINALITY:
+                self._counters[stat] += num_rows
+                continue
+            missing = [a for a in stat.attrs if a not in columns]
+            if missing:
+                raise InstrumentationError(
+                    f"cannot observe {stat!r}: attribute {missing[0]!r} is "
+                    f"not live at {se!r}"
+                )
+            rows = zip(*(columns[a] for a in stat.attrs))
+            if stat.kind is StatKind.HISTOGRAM:
+                buckets = self._hists[stat]
+                for value in rows:
+                    buckets[value] += 1
+            else:
+                self._distinct[stat].update(rows)
+
     def collect(self) -> StatisticsStore:
         store = StatisticsStore()
         for stat, count in self._counters.items():
@@ -158,6 +201,15 @@ class StreamingBackend(ExecutionBackend):
         # no tap here: the downstream block's raw-stage stream observes this
         # SE; tapping both points would double-count in streaming mode
         return None
+
+    def compiled_profile(self):
+        from repro.engine.compile import CompiledProfile
+
+        # bounded batches over row chunks (the compiled counterpart of
+        # per-tuple pipelining), canonical streaming column order
+        return CompiledProfile(
+            chunk_rows=2048, gather="auto", canonical_output=True
+        )
 
     # ------------------------------------------------------------------
     def _claim_point(self, ctx: RunContext, se: AnySE) -> bool:

@@ -98,6 +98,32 @@ BACKEND_COST_FACTORS: dict[str, dict[str, float]] = {
     },
 }
 
+#: cost factors when the plan-compilation layer executes the block: fused
+#: whole-column kernels collapse the per-row interpretation gap between
+#: backends, so the constants both shrink and converge (the streaming
+#: backend keeps a small chunking surcharge; calibrated against
+#: ``benchmarks/bench_plan_compile.py`` on wf21).
+COMPILED_COST_FACTORS: dict[str, dict[str, float]] = {
+    "columnar": {
+        "hash_build_factor": 0.12,
+        "sort_factor": 0.08,
+        "merge_factor": 0.08,
+        "nested_factor": 0.02,
+    },
+    "streaming": {
+        "hash_build_factor": 0.17,
+        "sort_factor": 0.11,
+        "merge_factor": 0.10,
+        "nested_factor": 0.03,
+    },
+    "vectorized": {
+        "hash_build_factor": 0.11,
+        "sort_factor": 0.07,
+        "merge_factor": 0.07,
+        "nested_factor": 0.02,
+    },
+}
+
 
 @dataclass
 class PhysicalCostModel:
@@ -111,15 +137,24 @@ class PhysicalCostModel:
 
     @classmethod
     def for_backend(
-        cls, backend: str, cardinalities: dict[AnySE, float], **overrides: float
+        cls,
+        backend: str,
+        cardinalities: dict[AnySE, float],
+        compiled: bool = False,
+        **overrides: float,
     ) -> "PhysicalCostModel":
-        """Cost model tuned to an execution backend's kernel constants."""
+        """Cost model tuned to an execution backend's kernel constants.
+
+        ``compiled=True`` selects the fused-operator constants of the
+        plan-compilation layer instead of the interpreter's.
+        """
+        table = COMPILED_COST_FACTORS if compiled else BACKEND_COST_FACTORS
         try:
-            factors = dict(BACKEND_COST_FACTORS[backend])
+            factors = dict(table[backend])
         except KeyError:
             raise KeyError(
                 f"no cost factors for backend {backend!r}; "
-                f"known: {sorted(BACKEND_COST_FACTORS)}"
+                f"known: {sorted(table)}"
             ) from None
         factors.update(overrides)
         return cls(cardinalities, **factors)
@@ -225,14 +260,18 @@ def physical_plans(
     cardinalities: dict[AnySE, float],
     trees: dict[str, PlanTree] | None = None,
     backend: str = "columnar",
+    compiled: bool = False,
 ) -> dict[str, PhysicalPlan]:
     """Physical decisions for every block's (chosen or initial) tree.
 
     ``backend`` selects the per-backend cost constants -- the same join
-    tree can warrant different physical operators on different engines.
+    tree can warrant different physical operators on different engines --
+    and ``compiled`` switches to the fused-kernel constants.
     """
     trees = trees or {}
-    planner = PhysicalPlanner(PhysicalCostModel.for_backend(backend, cardinalities))
+    planner = PhysicalPlanner(
+        PhysicalCostModel.for_backend(backend, cardinalities, compiled=compiled)
+    )
     out: dict[str, PhysicalPlan] = {}
     for block in analysis.blocks:
         tree = trees.get(block.name, block.initial_tree)

@@ -31,6 +31,7 @@ from repro.core.ilp import solve_ilp
 from repro.core.selection import SelectionResult, build_problem
 from repro.core.statistics import Statistic, StatisticsStore
 from repro.engine.backend import BackendExecutor, WorkflowRun, get_backend
+from repro.engine.compile import PlanCache
 from repro.engine.scheduler import RetryPolicy, RunFailure
 from repro.engine.table import Table
 from repro.estimation.estimator import CardinalityEstimator
@@ -192,6 +193,9 @@ class StatisticsPipeline:
     cpu_weight: float = 0.0
     backend: str = "columnar"  # any name get_backend() resolves
     workers: int = 1  # > 1 executes independent blocks concurrently
+    #: plan compilation: True/False force it on/off, None defers to the
+    #: process default (``REPRO_COMPILE``, on unless disabled)
+    compile: bool | None = None
     #: monotonic clock behind ``PipelineReport.timings`` (and the default
     #: span clock) -- injectable so tests assert exact, deterministic
     #: durations instead of sleeping
@@ -203,6 +207,9 @@ class StatisticsPipeline:
         self.analysis = analyze(self.workflow)
         self.catalog = generate_css(self.analysis, self.generator_options)
         self._se_sizes: dict = {}
+        # shared across run_once calls: warm cycles skip plan lowering,
+        # and plan changes/schema drift key/evict entries as needed
+        self.plan_cache = PlanCache()
 
     # -- steps 4-5 ---------------------------------------------------------
     def cost_model(self) -> CostModel:
@@ -391,7 +398,13 @@ class StatisticsPipeline:
         taps = backend.make_taps(tapped)
         with tr.span("execution", backend=self.backend,
                      workers=self.workers) as exec_span:
-            run = BackendExecutor(analysis, backend, workers=self.workers).run(
+            run = BackendExecutor(
+                analysis,
+                backend,
+                workers=self.workers,
+                compile_plans=self.compile,
+                plan_cache=self.plan_cache,
+            ).run(
                 sources,
                 taps=taps,
                 faults=faults,

@@ -95,6 +95,7 @@ class EtlSession:
     _adopted_cards: dict | None = None
     backend: str | None = None  # override the pipeline's execution backend
     workers: int | None = None  # override the pipeline's scheduler width
+    compile: bool | None = None  # override plan compilation (False = interpret)
     retry: RetryPolicy | None = None  # scheduler policy for every run
     faults: "FaultPlan | None" = None  # chaos sessions (tests/benchmarks)
     stats_catalog: "object | None" = None  # shared StatisticsCatalog
@@ -113,6 +114,8 @@ class EtlSession:
             self.pipeline.backend = self.backend
         if self.workers is not None:
             self.pipeline.workers = self.workers
+        if self.compile is not None:
+            self.pipeline.compile = self.compile
 
     def run(self, sources: dict[str, Table]) -> RunRecord:
         """Execute one load with the current plans; maybe re-optimize."""

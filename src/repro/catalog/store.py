@@ -74,6 +74,40 @@ def _try_lock(fd: int) -> bool:
     return True  # O_EXCL creation below is the lock on fcntl-less platforms
 
 
+@dataclass
+class CatalogLockHandle:
+    """Proof of a held :func:`catalog_lock`, carrying its fence token.
+
+    Stale takeover unlinks the *path*, but a paused holder's ``flock`` is
+    on the old inode -- the two holders do not conflict at the OS level.
+    The token written into the lock file is what disambiguates them:
+    :meth:`validate` re-reads the file at the path and raises unless it
+    still carries *this* holder's token, so a holder that slept through
+    its own takeover aborts its write instead of clobbering the
+    successor's.
+    """
+
+    path: Path  # the <catalog>.lock sidecar
+    token: str
+
+    def held(self) -> bool:
+        """Does the lock file still carry this holder's fence token?"""
+        try:
+            content = self.path.read_text()
+        except OSError:
+            return False
+        return f"token={self.token}" in content
+
+    def validate(self) -> None:
+        """Raise unless this holder still owns the lock (fence check)."""
+        if not self.held():
+            raise PersistenceError(
+                f"lock {self.path} was taken over while held (stale-lock "
+                "takeover by another run); aborting the write instead of "
+                "clobbering the new holder's"
+            )
+
+
 @contextmanager
 def catalog_lock(
     path: str | Path,
@@ -95,8 +129,17 @@ def catalog_lock(
     crashed fleet run never wedges every later night.  A *live* contender
     wins a :class:`~repro.core.persistence.PersistenceError` after
     ``timeout`` seconds instead of deadlocking the fleet.
+
+    Yields a :class:`CatalogLockHandle` whose fence token fixes the
+    takeover race: a holder paused past ``stale_after`` (a stopped VM, a
+    20-minute GC pause) comes back believing it holds a lock somebody
+    else has since taken over.  Its handle's :meth:`~CatalogLockHandle.
+    validate` fails -- :meth:`StatisticsCatalog.save` calls it right
+    before the write -- so the zombie aborts instead of overwriting the
+    successor's merge.
     """
     lock_path = Path(str(path) + ".lock")
+    token = f"{os.getpid()}-{os.urandom(8).hex()}"
     deadline = time.monotonic() + timeout
     fd: int | None = None
     try:
@@ -110,7 +153,7 @@ def catalog_lock(
                 fd = None  # O_EXCL path: somebody holds it
             if fd is not None and _try_lock(fd):
                 os.truncate(fd, 0)
-                os.write(fd, f"pid={os.getpid()}\n".encode())
+                os.write(fd, f"pid={os.getpid()}\ntoken={token}\n".encode())
                 os.utime(lock_path)  # freshness signal for stale takeover
                 break
             if fd is not None:
@@ -133,7 +176,8 @@ def catalog_lock(
                     "file if that run is dead"
                 )
             time.sleep(poll)
-        yield
+        handle = CatalogLockHandle(path=lock_path, token=token)
+        yield handle
     finally:
         if fd is not None:
             if fcntl is not None:
@@ -142,10 +186,13 @@ def catalog_lock(
                 except OSError:  # pragma: no cover - unlock cannot fail here
                     pass
             os.close(fd)
-            try:
-                lock_path.unlink()
-            except OSError:  # pragma: no cover - already taken over
-                pass
+            # only remove the file if it is still *ours* -- after a
+            # takeover the path belongs to the new holder
+            if CatalogLockHandle(path=lock_path, token=token).held():
+                try:
+                    lock_path.unlink()
+                except OSError:  # pragma: no cover - racing a takeover
+                    pass
 
 
 @dataclass(frozen=True)
@@ -301,7 +348,7 @@ class StatisticsCatalog:
         target = Path(path) if path is not None else self.path
         if target is None:
             raise PersistenceError("catalog has no path to save to")
-        with catalog_lock(target):
+        with catalog_lock(target) as lock:
             if merge and target.exists():
                 try:
                     disk = StatisticsCatalog.open(
@@ -314,6 +361,9 @@ class StatisticsCatalog:
                         mine = self.entries.get(key)
                         if mine is None or entry.observed_at > mine.observed_at:
                             self.entries[key] = entry
+            # fence check: if we slept past the stale deadline and another
+            # run took the lock over, fail here rather than clobber it
+            lock.validate()
             atomic_write_json(self.to_dict(), target)
 
     # ------------------------------------------------------------------
@@ -502,6 +552,7 @@ __all__ = [
     "DEFAULT_TTL",
     "CatalogEntry",
     "CatalogHits",
+    "CatalogLockHandle",
     "StatisticsCatalog",
     "catalog_lock",
 ]

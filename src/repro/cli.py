@@ -35,6 +35,14 @@ console script):
   sign a persisted statistics file into one, print the deterministic
   JSON document, or compute the combined nightly observation plan that
   observes each statistic shared across suite workflows exactly once;
+- ``serve --catalog CATALOG.JSON [--listen host:port|unix:///p.sock]`` --
+  run the crash-safe statistics-catalog server: every write lands in a
+  checksummed write-ahead log before it is acknowledged, snapshots are
+  written behind and the WAL truncated, and a SIGKILL'd server replays
+  the log on restart without losing an acknowledged entry.  Point runs
+  at it with ``run --catalog http://host:port`` (or the unix URL); an
+  unreachable server degrades the run to the local view
+  (``--catalog-fallback``) with plan confidence demoted one rung;
 - ``trace show <trace.json>`` -- render a persisted run trace as an
   indented span tree, with the slowest blocks and the worst
   estimated-vs-actual row errors summarized below it;
@@ -126,11 +134,14 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _open_catalog(path: str, must_exist: bool = False):
+def _open_catalog(path: str, must_exist: bool = False, fallback: str | None = None):
     from pathlib import Path
 
     from repro.catalog import StatisticsCatalog
+    from repro.serve.client import CatalogClient, is_catalog_url
 
+    if is_catalog_url(path):
+        return CatalogClient(path, fallback=fallback)
     if must_exist and not Path(path).exists():
         raise CliError(f"catalog file not found: {path}")
     return StatisticsCatalog.open(path)
@@ -238,7 +249,11 @@ def _cmd_run(args) -> int:
             prior_observed_at = Path(args.prior_stats).stat().st_mtime
         except OSError:  # pragma: no cover - just read it
             prior_observed_at = None
-    stats_catalog = _open_catalog(args.catalog) if args.catalog else None
+    stats_catalog = (
+        _open_catalog(args.catalog, fallback=args.catalog_fallback)
+        if args.catalog
+        else None
+    )
 
     contracts = None
     quarantine = None
@@ -307,6 +322,9 @@ def _cmd_run(args) -> int:
             f"{len(report.tapped)} observed fresh, "
             f"{len(stats_catalog.entries)} entries after reconcile"
         )
+        close = getattr(stats_catalog, "close", None)
+        if close is not None:
+            close()
     if contracts is not None:
         print(
             f"quality gate: {report.rows_quarantined} row(s) quarantined, "
@@ -430,7 +448,10 @@ def _cmd_catalog_gc(args) -> int:
     )
     # merge=False: a merging save would re-adopt the just-dropped entries
     # from the on-disk file and undo the collection
-    catalog.save(merge=False)
+    try:
+        catalog.save(merge=False)
+    except OSError as exc:
+        raise CliError(f"cannot write catalog {args.path}: {exc}") from exc
     print(f"gc: removed {removed} of {before} entries, {len(catalog.entries)} kept")
     return 0
 
@@ -473,7 +494,10 @@ def _cmd_catalog_import(args) -> int:
             imported += 1
     for source in args.sources:
         imported += catalog.merge(_open_catalog(source, must_exist=True))
-    catalog.save()
+    try:
+        catalog.save()
+    except OSError as exc:
+        raise CliError(f"cannot write catalog {args.path}: {exc}") from exc
     print(f"imported {imported} entries; catalog has {len(catalog.entries)}")
     return 0
 
@@ -486,6 +510,51 @@ def _cmd_catalog_plan_fleet(args) -> int:
     workflows = [_case(n).build() for n in numbers]
     plan = plan_fleet(workflows, catalog, solver=args.solver)
     print(plan.describe())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# catalog server
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.serve.server import make_server
+
+    try:
+        server = make_server(
+            args.listen,
+            args.catalog,
+            wal_path=args.wal,
+            log_path=args.log,
+            snapshot_every=args.snapshot_every,
+            lease_ttl=args.lease_ttl,
+            fsync=not args.no_fsync,
+        )
+    except OSError as exc:
+        raise CliError(f"cannot start catalog server: {exc}") from exc
+    service = server.service
+    print(
+        f"catalog server: {args.listen} serving {args.catalog} "
+        f"({len(service.all_entries())} entries, "
+        f"{service.replayed_records} WAL record(s) replayed)",
+        flush=True,
+    )
+
+    def _term(signum, frame):  # SIGTERM drains like ^C: snapshot, then exit
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _term)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.shutdown_service()
+    print("catalog server stopped: snapshot taken, WAL truncated")
     return 0
 
 
@@ -641,10 +710,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--catalog",
         default=None,
-        metavar="CATALOG.JSON",
+        metavar="CATALOG.JSON|URL",
         help="shared statistics catalog: covered statistics are consumed "
         "at zero cost instead of re-observed; the run reconciles "
-        "(drift-checks) and saves the catalog afterwards",
+        "(drift-checks) and saves the catalog afterwards.  A "
+        "http://host:port or unix:///path.sock URL talks to a "
+        "`repro-etl serve` daemon instead of a local file",
+    )
+    p.add_argument(
+        "--catalog-fallback",
+        default=None,
+        metavar="CATALOG.JSON",
+        help="local catalog file a URL --catalog degrades to when the "
+        "server is unreachable (the run completes either way)",
     )
     p.add_argument(
         "--contracts",
@@ -714,6 +792,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--number", type=int, required=True)
     p.add_argument("--format", choices=("json", "xml"), default="json")
     p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the crash-safe statistics-catalog server "
+        "(point clients at it with `run --catalog URL`)",
+    )
+    p.add_argument(
+        "--listen",
+        default="127.0.0.1:8642",
+        metavar="HOST:PORT|unix:///PATH.sock",
+        help="address to serve on (unix sockets give the lowest latency)",
+    )
+    p.add_argument(
+        "--catalog",
+        required=True,
+        metavar="CATALOG.JSON",
+        help="the catalog snapshot file; created if missing",
+    )
+    p.add_argument(
+        "--wal",
+        default=None,
+        metavar="WAL",
+        help="write-ahead log path (default: <catalog>.wal)",
+    )
+    p.add_argument(
+        "--log",
+        default=None,
+        metavar="LOG",
+        help="append request/error lines to this file",
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write-behind snapshot + WAL truncation cadence in records",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="writer-lease lifetime before another client may take over",
+    )
+    p.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip per-record fsync (faster, loses crash durability)",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "catalog", help="manage the shared cross-workflow statistics catalog"

@@ -72,6 +72,10 @@ class WorkflowRun:
     quarantined: dict[str, Table] = field(default_factory=dict)
     violations: list = field(default_factory=list)
     schema_drift: tuple = ()
+    #: statistics restored from the checkpoint journal rather than observed
+    #: tonight -- catalog reconciliation must not refresh their provenance
+    #: as if they were fresh taps
+    restored_statistics: frozenset = frozenset()
 
     def target(self, name: str) -> Table:
         return self.targets[name]
@@ -398,6 +402,14 @@ class BackendExecutor:
         run.failures = dict(result.failures)
         observations = self.backend.collect(taps)
         if checkpoint is not None and checkpoint.statistics is not None:
+            # statistics present only in the journal were observed on the
+            # crashed attempt, not tonight: remember them so the catalog
+            # reconcile keeps their original provenance timestamps
+            run.restored_statistics = frozenset(
+                stat
+                for stat in checkpoint.statistics
+                if stat not in observations
+            )
             merged = checkpoint.statistics.copy()
             merged.merge(observations)
             observations = merged
@@ -423,8 +435,9 @@ class BackendExecutor:
             self.plan_cache = PlanCache()
         # schema drift means the cached programs were compiled against a
         # source shape that no longer holds: evict, never silently reuse
+        invalidated = 0
         for event in run.schema_drift:
-            self.plan_cache.invalidate_source(event.source)
+            invalidated += self.plan_cache.invalidate_source(event.source)
         tokens = _contract_tokens(quality) if quality is not None else None
         span = None
         compiled = None
@@ -447,6 +460,7 @@ class BackendExecutor:
                     fused_ops=compiled.fused_ops if compiled else None,
                     cache_hits=compiled.cache_hits if compiled else None,
                     cache_misses=compiled.cache_misses if compiled else None,
+                    cache_invalidations=invalidated,
                 )
         return compiled, profile, make_engine(profile.gather)
 

@@ -54,10 +54,18 @@ FAULT_KINDS = (
     "type-flip",
     "column-rename",
     "null-burst",
+    # catalog-server injectors: fired per client *request* (never in-task),
+    # so the CatalogClient's retry/breaker/degradation path is chaos-testable
+    "server-kill",
+    "server-hang",
+    "net-flap",
 )
 
 #: kinds applied to the source map before execution (never raised in-task)
 _SOURCE_KINDS = ("truncate", "corrupt-row", "type-flip", "column-rename", "null-burst")
+
+#: kinds fired at catalog-client request boundaries (see ``on_request``)
+_SERVER_KINDS = ("server-kill", "server-hang", "net-flap")
 
 #: source kinds that poison individual rows (need ``fraction`` or ``rows``)
 _DIRTY_ROW_KINDS = ("corrupt-row", "type-flip", "null-burst")
@@ -151,7 +159,9 @@ class FaultSpec:
         """Attempts (per task) this fault fires on; ``None`` = unbounded."""
         if self.times is not None:
             return self.times
-        return 1 if self.kind == "transient" else None
+        # a lone network flap, like a lone transient, should be outlived
+        # by a single retry; a killed server stays dead until restarted
+        return 1 if self.kind in ("transient", "net-flap") else None
 
     def to_dict(self) -> dict:
         doc: dict = {"target": self.target, "kind": self.kind}
@@ -375,7 +385,7 @@ class FaultInjector:
         with self._lock:
             self._attempts[task_name] += 1
             for index, spec in enumerate(self.plan.specs):
-                if spec.kind in _SOURCE_KINDS:
+                if spec.kind in _SOURCE_KINDS or spec.kind in _SERVER_KINDS:
                     continue
                 scope = next((s for s in scopes if spec.matches(s)), None)
                 if scope is None:
@@ -409,6 +419,63 @@ class FaultInjector:
                 exc_type = TransientFault if spec.kind == "transient" else PermanentFault
                 raised = exc_type(message)
                 break  # first raising fault wins; later specs keep their budget
+        if pause:
+            time.sleep(pause)
+        if raised is not None:
+            raise raised
+
+    def on_request(self, name: str) -> None:
+        """Fire matching *server* faults for one catalog-client request.
+
+        ``name`` is the request route (``"/put"``); specs match it by glob
+        (``"*"`` for "the whole server").  Semantics mirror the failure
+        they model: ``server-kill`` raises a permanent connection error on
+        every request until the spec's budget runs out (a dead server does
+        not heal by retrying), ``server-hang`` sleeps ``delay`` seconds
+        and then times out transiently, ``net-flap`` raises one transient
+        error a single retry outlives.
+        """
+        pause = 0.0
+        raised: InjectedFault | None = None
+        request_key = f"request:{name}"
+        with self._lock:
+            self._attempts[request_key] += 1
+            for index, spec in enumerate(self.plan.specs):
+                if spec.kind not in _SERVER_KINDS:
+                    continue
+                if not spec.matches(name):
+                    continue
+                key = (index, request_key)
+                limit = spec.fire_limit
+                if limit is not None and self._fired[key] >= limit:
+                    continue
+                if spec.probability < 1.0:
+                    rng = self._rngs.setdefault(
+                        key,
+                        random.Random(f"{self.plan.seed}:{index}:{request_key}"),
+                    )
+                    if rng.random() >= spec.probability:
+                        continue
+                self._fired[key] += 1
+                self.events.append(
+                    FaultEvent(
+                        task=request_key,
+                        target=spec.target,
+                        kind=spec.kind,
+                        attempt=self._attempts[request_key],
+                    )
+                )
+                message = spec.message or (
+                    f"injected {spec.kind} fault on catalog request {name!r}"
+                )
+                if spec.kind == "server-hang":
+                    pause += spec.delay
+                    raised = TransientFault(message)
+                elif spec.kind == "net-flap":
+                    raised = TransientFault(message)
+                else:  # server-kill
+                    raised = PermanentFault(message)
+                break
         if pause:
             time.sleep(pause)
         if raised is not None:

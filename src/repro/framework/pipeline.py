@@ -79,6 +79,13 @@ class PipelineReport:
     trace: "object | None" = None  # Tracer when run_once(tracer=...) was given
     #: catalog entries invalidated because their source's schema drifted
     drift_invalidated: int = 0
+    #: the catalog server vanished and the client answered from its local
+    #: view -- every plan's confidence was demoted one rung
+    catalog_degraded: bool = False
+    #: this cycle's plan-compilation cache activity (deltas, not totals)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
 
     @property
     def ok(self) -> bool:
@@ -140,6 +147,11 @@ class PipelineReport:
             lines.append(
                 f"catalog: {self.catalog_hits} statistics reused at zero "
                 f"cost, {len(self.tapped)} observed fresh"
+            )
+        if self.catalog_degraded:
+            lines.append(
+                "catalog server unavailable: ran from the local view, "
+                "plan confidence demoted one rung"
             )
         if self.drift is not None and getattr(self.drift, "touched", 0) + len(
             getattr(self.drift, "drifted", ())
@@ -311,6 +323,18 @@ class StatisticsPipeline:
         timings: dict[str, float] = {}
         clock = self.clock
 
+        if isinstance(stats_catalog, str):
+            # "http://host:port" / "unix:///path.sock" -> served catalog
+            # behind the degrading client; a plain path -> the file store
+            from repro.serve.client import resolve_stats_catalog
+
+            stats_catalog = resolve_stats_catalog(stats_catalog)
+        cache_before = (
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache.invalidations,
+        )
+
         quality = None
         if contracts is not None and len(contracts):
             from repro.quality.drift import DEFAULT_POLICY
@@ -449,12 +473,20 @@ class StatisticsPipeline:
                         metrics=metrics,
                         workflow=analysis.workflow.name,
                     )
+                # a resumed run's journal-restored statistics were observed
+                # on the *crashed* attempt: refreshing their entries now
+                # would forge tonight's timestamp onto stale provenance
+                fresh_tapped = [
+                    stat
+                    for stat in tapped
+                    if stat not in run.restored_statistics
+                ]
                 drift = reconcile_run(
                     stats_catalog,
                     signer,
                     run.observations,
                     run.se_sizes,
-                    tapped,
+                    fresh_tapped,
                     workflow=analysis.workflow.name,
                     run_id=run_id,
                     backend=self.backend,
@@ -520,6 +552,22 @@ class StatisticsPipeline:
             plans = PlanOptimizer(
                 analysis, estimator.all_cardinalities(), metric=self.cost_metric
             ).optimize()
+        catalog_degraded = bool(getattr(stats_catalog, "degraded", False))
+        if catalog_degraded:
+            # the server vanished mid-night: the chosen trees are exactly
+            # what the local view would have chosen, but they could not be
+            # cross-checked against the fleet's shared state -- every
+            # plan's confidence drops one rung, and the run still succeeds
+            from dataclasses import replace as _replace
+
+            from repro.framework.recovery import demote_confidence
+
+            for name, plan in plans.items():
+                demoted = demote_confidence(plan.confidence)
+                if demoted != plan.confidence:
+                    plans[name] = _replace(plan, confidence=demoted)
+                    degraded[name] = demoted
+
         tr.end(
             opt_span,
             improved=sum(1 for p in plans.values() if p.improved),
@@ -543,6 +591,11 @@ class StatisticsPipeline:
             drift=drift,
             drift_invalidated=drift_invalidated,
             trace=tracer,
+            catalog_degraded=catalog_degraded,
+            plan_cache_hits=self.plan_cache.hits - cache_before[0],
+            plan_cache_misses=self.plan_cache.misses - cache_before[1],
+            plan_cache_invalidations=self.plan_cache.invalidations
+            - cache_before[2],
         )
         if tracer is not None:
             tracer.finish(

@@ -87,6 +87,19 @@ def weakest_confidence(labels) -> str:
     return worst
 
 
+def demote_confidence(label: str) -> str:
+    """One rung weaker along the ladder (``none`` stays ``none``).
+
+    This is how a degraded catalog client surfaces in tonight's plans: the
+    numbers still come from the best source available, but a vanished
+    statistics server means they could not be cross-checked against the
+    fleet's shared state, so the report says one rung less than it
+    otherwise would -- honestly weaker, never failing the run.
+    """
+    index = CONFIDENCE_ORDER.index(label)
+    return CONFIDENCE_ORDER[min(index + 1, len(CONFIDENCE_ORDER) - 1)]
+
+
 class RunCheckpoint:
     """Crash-consistent journal of one workflow run's completed blocks.
 
@@ -358,5 +371,6 @@ __all__ = [
     "CONFIDENCE_PRIOR",
     "RunCheckpoint",
     "degraded_cardinalities",
+    "demote_confidence",
     "weakest_confidence",
 ]

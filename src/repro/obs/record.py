@@ -63,6 +63,25 @@ def record_run_metrics(
         registry.counter(
             "etl_plans_improved_total", "blocks whose plan changed"
         ).inc(improved, **labels)
+    if getattr(report, "catalog_degraded", False):
+        registry.counter(
+            "etl_catalog_degraded_total",
+            "runs that lost the catalog server and fell back to local state",
+        ).inc(**labels)
+
+    # plan-compilation cache activity (per-cycle deltas from the report, so
+    # a shared long-lived cache still yields per-run series)
+    for field_name, metric, help_text in (
+        ("plan_cache_hits", "etl_plan_cache_hits_total",
+         "compiled block programs reused from the plan cache"),
+        ("plan_cache_misses", "etl_plan_cache_misses_total",
+         "blocks lowered because no cached program matched"),
+        ("plan_cache_invalidations", "etl_plan_cache_invalidations_total",
+         "cached programs evicted by schema drift"),
+    ):
+        amount = getattr(report, field_name, 0)
+        if amount:
+            registry.counter(metric, help_text).inc(amount, **labels)
 
     registry.gauge(
         "etl_plan_cost", "total estimated cost of the chosen plans"

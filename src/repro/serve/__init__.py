@@ -1,0 +1,45 @@
+"""Catalog-as-a-service: the statistics catalog behind a socket.
+
+The paper's Section 6.2 sharing scheme pays off when a *fleet* of ETL
+pipelines draws on one statistics catalog.  This package turns the
+file-backed :class:`~repro.catalog.store.StatisticsCatalog` into a
+long-lived daemon (``repro-etl serve``) and a degrading client:
+
+- :mod:`repro.serve.wal` -- fsync'd, checksummed write-ahead log; an
+  acknowledged write survives ``SIGKILL``, a torn tail is discarded;
+- :mod:`repro.serve.service` -- the transport-free store: sharded reads,
+  WAL-then-memory writes, lease-fenced writers, write-behind snapshots,
+  and the fleet "what must I tap tonight?" scheduler;
+- :mod:`repro.serve.server` -- stdlib HTTP over TCP or a unix socket,
+  ``/metrics`` + ``/healthz`` on the shared Prometheus exporter;
+- :mod:`repro.serve.client` -- :class:`~repro.serve.client.CatalogClient`,
+  a ``StatisticsCatalog`` look-alike with timeouts, seeded retry, a
+  circuit breaker, and degradation to the local file catalog -- a
+  vanished server demotes plan confidence, never fails the run.
+"""
+
+from repro.serve.client import (
+    CatalogClient,
+    CatalogRequestError,
+    CatalogUnavailable,
+    is_catalog_url,
+    resolve_stats_catalog,
+)
+from repro.serve.server import ServerThread, make_server, parse_listen
+from repro.serve.service import CatalogService, FenceError
+from repro.serve.wal import WalError, WriteAheadLog
+
+__all__ = [
+    "CatalogClient",
+    "CatalogRequestError",
+    "CatalogService",
+    "CatalogUnavailable",
+    "FenceError",
+    "ServerThread",
+    "WalError",
+    "WriteAheadLog",
+    "is_catalog_url",
+    "make_server",
+    "parse_listen",
+    "resolve_stats_catalog",
+]

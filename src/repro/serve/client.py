@@ -1,0 +1,516 @@
+"""The degrading catalog client.
+
+:class:`CatalogClient` speaks to a ``repro-etl serve`` daemon while
+presenting the exact duck interface of
+:class:`~repro.catalog.store.StatisticsCatalog`, so the pipeline, the
+drift reconciler and the fleet planner cannot tell (and must not care)
+whether the catalog is a local file or a server across a socket.
+
+The robustness contract is the headline: **a vanished server demotes
+confidence, it never fails the run.**  The machinery, outermost first:
+
+- every request runs behind a **timeout** and seeded exponential
+  **retry/backoff** (the :class:`~repro.engine.scheduler.RetryPolicy`
+  discipline -- transient errors are retried, a dead server is not);
+- a **circuit breaker** counts consecutive request failures and, once
+  open, fails calls instantly instead of stacking timeouts;
+- on the first unrecoverable failure the client **degrades**: its
+  in-memory mirror (seeded from the server at first contact, optionally
+  from a local fallback catalog file) serves every later read, writes
+  are folded into the fallback file at :meth:`save`, and ``degraded``
+  flips ``True`` -- which the pipeline translates into plan confidence
+  dropping one rung down the observed → catalog → prior → independence
+  ladder.
+
+Writes are *staged* locally in order and flushed by :meth:`save` under a
+server lease: the flush acquires a fence token and attaches it to every
+mutation, so a client that stalls mid-save and loses its lease has the
+rest of its flush rejected (HTTP 409) rather than interleaved with its
+successor's.
+
+Chaos tests drive all of this deterministically through the
+``server-kill`` / ``server-hang`` / ``net-flap`` fault kinds of
+:mod:`repro.engine.faults`, consulted at every request boundary.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.catalog.store import (
+    DEFAULT_MIN_QUALITY,
+    DEFAULT_TTL,
+    CatalogEntry,
+    CatalogHits,
+    StatisticsCatalog,
+)
+from repro.core.persistence import PersistenceError
+from repro.engine.faults import PermanentFault, TransientFault, as_injector
+from repro.engine.scheduler import RetryPolicy
+from repro.serve.service import FenceError
+
+#: URL prefixes that select the client over the file-backed store
+CATALOG_URL_PREFIXES = ("http://", "https://", "unix://")
+
+#: consecutive request failures before the breaker opens
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: seconds the breaker stays open before allowing a probe
+DEFAULT_BREAKER_COOLDOWN = 30.0
+
+#: per-request socket timeout, seconds
+DEFAULT_TIMEOUT = 2.0
+
+
+class CatalogUnavailable(PersistenceError):
+    """The server could not be reached (after retries / breaker open)."""
+
+
+class CatalogRequestError(PersistenceError):
+    """The server answered, but with an error status."""
+
+
+def is_catalog_url(spec) -> bool:
+    """Does this ``stats_catalog=`` value name a served catalog?"""
+    return isinstance(spec, str) and spec.startswith(CATALOG_URL_PREFIXES)
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket."""
+
+    def __init__(self, path: str, timeout: float):
+        super().__init__("localhost", timeout=timeout)
+        self.unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.unix_path)
+        self.sock = sock
+
+
+class CatalogClient:
+    """A ``StatisticsCatalog`` look-alike backed by a catalog server."""
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        fallback: StatisticsCatalog | str | Path | None = None,
+        ttl: float = DEFAULT_TTL,
+        min_quality: float = DEFAULT_MIN_QUALITY,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_retries: int = 2,
+        base_delay: float = 0.05,
+        max_delay: float = 1.0,
+        seed: int = 0,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        client_id: str = "",
+        faults=None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        self.url = url.rstrip("/")
+        self.ttl = ttl
+        self.min_quality = min_quality
+        self.timeout = timeout
+        self.client_id = client_id or f"client-{os.getpid()}"
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.clock = clock
+
+        if isinstance(fallback, StatisticsCatalog):
+            self._fallback = fallback
+        elif fallback is not None:
+            self._fallback = StatisticsCatalog.open(
+                fallback, ttl=ttl, min_quality=min_quality
+            )
+        else:
+            self._fallback = None
+
+        #: local view of the server's entries; after degradation it IS the
+        #: catalog (seeded from the last sync and/or the fallback file)
+        self._mirror = StatisticsCatalog(None, ttl=ttl, min_quality=min_quality)
+        self._staged: list[tuple[str, list]] = []  # ordered, coalesced ops
+        self._synced = False
+        self.degraded = False
+        self.fence: int | None = None
+        self.requests_sent = 0
+        self.retries = 0
+
+        self._policy = RetryPolicy(
+            max_retries=max_retries,
+            base_delay=base_delay,
+            max_delay=max_delay,
+            seed=seed,
+            sleep=sleep,
+        )
+        self._rng = self._policy.rng_for(self.url)
+        self._injector = as_injector(faults)
+        self._failures = 0
+        self._breaker_open_until = 0.0
+        self._conn: http.client.HTTPConnection | None = None
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # transport: timeout -> retry/backoff -> circuit breaker
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            if self.url.startswith("unix://"):
+                self._conn = _UnixHTTPConnection(
+                    self.url[len("unix://"):], self.timeout
+                )
+            else:
+                hostport = self.url.split("://", 1)[1]
+                host, _, port = hostport.rpartition(":")
+                self._conn = http.client.HTTPConnection(
+                    host or hostport,
+                    int(port) if port.isdigit() else 80,
+                    timeout=self.timeout,
+                )
+        return self._conn
+
+    def _drop_conn(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - close cannot matter here
+                pass
+            self._conn = None
+
+    def _once(self, method: str, path: str, doc) -> tuple[int, dict]:
+        import json
+
+        conn = self._connect()
+        body = None
+        headers = {}
+        if doc is not None:
+            body = json.dumps(doc).encode("utf-8")
+            headers = {"Content-Type": "application/json"}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        payload = response.read()
+        try:
+            answer = json.loads(payload) if payload else {}
+        except json.JSONDecodeError:
+            answer = {"error": payload.decode("utf-8", "replace")[:200]}
+        return response.status, answer
+
+    def _request(self, method: str, path: str, doc=None) -> dict:
+        """One logical request: retries transients, trips the breaker."""
+        with self._lock:
+            now = self.clock()
+            if now < self._breaker_open_until:
+                raise CatalogUnavailable(
+                    f"catalog {self.url} circuit breaker open for another "
+                    f"{self._breaker_open_until - now:.1f}s"
+                )
+            attempt = 0
+            while True:
+                self.requests_sent += 1
+                try:
+                    if self._injector is not None:
+                        self._injector.on_request(path)
+                    status, answer = self._once(method, path, doc)
+                except PermanentFault as exc:
+                    # a dead server does not heal by retrying
+                    self._drop_conn()
+                    self._record_failure()
+                    raise CatalogUnavailable(
+                        f"catalog {self.url} unreachable: {exc}"
+                    ) from exc
+                except (
+                    TransientFault,
+                    OSError,
+                    http.client.HTTPException,
+                ) as exc:
+                    self._drop_conn()
+                    if attempt >= self._policy.max_retries:
+                        self._record_failure()
+                        raise CatalogUnavailable(
+                            f"catalog {self.url} unreachable after "
+                            f"{attempt + 1} attempt(s): {exc}"
+                        ) from exc
+                    self._policy.sleep(self._policy.backoff(attempt, self._rng))
+                    attempt += 1
+                    self.retries += 1
+                    continue
+                break
+            self._failures = 0  # any answered request closes the breaker
+            if status == 409:
+                raise FenceError(answer.get("error", "stale fence token"))
+            if status >= 400:
+                raise CatalogRequestError(
+                    answer.get("error", f"catalog server answered {status}")
+                )
+            return answer
+
+    def _record_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self.breaker_threshold:
+            self._breaker_open_until = self.clock() + self.breaker_cooldown
+
+    # ------------------------------------------------------------------
+    # degradation
+    # ------------------------------------------------------------------
+    def _degrade(self) -> None:
+        """Fall back to the local view; reads and writes keep working."""
+        if not self.degraded:
+            self.degraded = True
+            if self._fallback is not None:
+                # fallback entries fill whatever the mirror never saw
+                for key, entry in self._fallback.entries.items():
+                    self._mirror.entries.setdefault(key, entry)
+
+    def _ensure_synced(self) -> None:
+        """Seed the mirror from the server once per client lifetime."""
+        if self._synced or self.degraded:
+            return
+        try:
+            doc = self._request("GET", "/export")
+        except (CatalogUnavailable, CatalogRequestError):
+            self._degrade()
+            return
+        for entry_doc in doc.get("entries", []):
+            entry = CatalogEntry.from_dict(entry_doc)
+            self._mirror.entries[entry.key] = entry
+        self._synced = True
+
+    # ------------------------------------------------------------------
+    # StatisticsCatalog duck interface: reads
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        # truthy, so the pipeline calls save(); the URL doubles as the
+        # display name in CLI output
+        return self.url
+
+    @property
+    def entries(self) -> dict[str, CatalogEntry]:
+        self._ensure_synced()
+        return self._mirror.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def get(self, key: str) -> CatalogEntry | None:
+        self._ensure_synced()
+        return self._mirror.get(key)
+
+    def usable_keys(self, now: float | None = None) -> set[str]:
+        self._ensure_synced()
+        return self._mirror.usable_keys(now)
+
+    def entries_on_se(self, se_key: str) -> list[CatalogEntry]:
+        self._ensure_synced()
+        return self._mirror.entries_on_se(se_key)
+
+    def describe(self) -> str:
+        self._ensure_synced()
+        mode = "degraded to local view" if self.degraded else "connected"
+        return f"catalog service {self.url} ({mode})\n" + self._mirror.describe()
+
+    def lookup(
+        self, signer, stats, now: float | None = None, count_hits: bool = True
+    ) -> CatalogHits:
+        """Match candidate statistics; server answers, mirror absorbs.
+
+        When the server is healthy the answer is authoritative (and bumps
+        server-side hit counters); after degradation the mirror -- last
+        synced state plus the fallback file -- answers instead, which is
+        the "catalog" rung of the confidence ladder with one rung knocked
+        off by the pipeline.
+        """
+        from repro.catalog.signatures import SignatureError
+
+        self._ensure_synced()
+        if not self.degraded:
+            keys: dict = {}
+            for stat in stats:
+                try:
+                    keys[stat] = signer.statistic_key(stat)
+                except SignatureError:
+                    continue
+            try:
+                body = {
+                    "keys": sorted(set(keys.values())),
+                    "count_hits": bool(count_hits),
+                }
+                if now is not None:
+                    body["now"] = now
+                answer = self._request("POST", "/lookup", body)
+            except (CatalogUnavailable, CatalogRequestError):
+                self._degrade()
+            else:
+                by_key: dict[str, CatalogEntry] = {}
+                for entry_doc in answer.get("entries", []):
+                    entry = CatalogEntry.from_dict(entry_doc)
+                    by_key[entry.key] = entry
+                    self._mirror.entries[entry.key] = entry
+                hits = CatalogHits()
+                for stat, key in keys.items():
+                    entry = by_key.get(key)
+                    if entry is None:
+                        continue
+                    hits.free.add(stat)
+                    hits.values.put(stat, entry.value())
+                    hits.keys[stat] = key
+                    hits.newest_observed_at = max(
+                        hits.newest_observed_at, entry.observed_at
+                    )
+                return hits
+        return self._mirror.lookup(signer, stats, now=now, count_hits=count_hits)
+
+    # ------------------------------------------------------------------
+    # StatisticsCatalog duck interface: writes (staged, flushed by save)
+    # ------------------------------------------------------------------
+    def _stage(self, op: str, item) -> None:
+        if self._staged and self._staged[-1][0] == op:
+            self._staged[-1][1].append(item)
+        else:
+            self._staged.append((op, [item]))
+
+    def record(self, key, se_key, stat, value, **provenance) -> CatalogEntry:
+        entry = self._mirror.record(key, se_key, stat, value, **provenance)
+        self._stage("put", entry.to_dict())
+        return entry
+
+    def mark_stale(self, keys) -> int:
+        keys = list(keys)
+        marked = self._mirror.mark_stale(keys)
+        for key in keys:
+            self._stage("stale", key)
+        return marked
+
+    def adjust_quality(self, key: str, rel_error: float) -> None:
+        self._mirror.adjust_quality(key, rel_error)
+        self._stage("quality", [key, float(rel_error)])
+
+    def gc(self, **kwargs) -> int:
+        if not self.degraded:
+            try:
+                answer = self._request("POST", "/gc", kwargs or {})
+                self._mirror.gc(**kwargs)
+                return int(answer.get("removed", 0))
+            except (CatalogUnavailable, CatalogRequestError):
+                self._degrade()
+        return self._mirror.gc(**kwargs)
+
+    def merge(self, other: StatisticsCatalog) -> int:
+        docs = [entry.to_dict() for entry in other.entries.values()]
+        if not self.degraded:
+            try:
+                self._request("POST", "/merge", {"entries": docs})
+            except (CatalogUnavailable, CatalogRequestError):
+                self._degrade()
+        return self._mirror.merge(other)
+
+    def save(self, path=None, merge: bool = True) -> None:
+        """Flush staged writes under a lease-fenced server transaction.
+
+        Healthy path: acquire a lease (fresh fence token), send every
+        staged op in order carrying that fence -- the server WALs and acks
+        each before the next is sent.  A :class:`FenceError` mid-flush
+        means another writer took over; it propagates, because silently
+        dropping acknowledged-to-the-caller state is the one forbidden
+        outcome.  Degraded path: the staged ops are folded into the local
+        fallback catalog file instead (merge-on-save, advisory-locked),
+        so the night's observations survive for tomorrow's server merge.
+        """
+        ops, self._staged = self._staged, []
+        if not self.degraded:
+            try:
+                self.fence = int(
+                    self._request(
+                        "POST", "/lease", {"holder": self.client_id}
+                    )["fence"]
+                )
+                for op, items in ops:
+                    if op == "put":
+                        self._request(
+                            "POST",
+                            "/put",
+                            {"entries": items, "fence": self.fence},
+                        )
+                    elif op == "stale":
+                        self._request(
+                            "POST",
+                            "/stale",
+                            {"keys": items, "fence": self.fence},
+                        )
+                    elif op == "quality":
+                        self._request(
+                            "POST",
+                            "/quality",
+                            {"adjust": items, "fence": self.fence},
+                        )
+                # give the lease back so the fleet's next run is not
+                # locked out for a whole TTL by a finished save
+                self._request(
+                    "POST", "/lease/release", {"fence": self.fence}
+                )
+                return
+            except (CatalogUnavailable, CatalogRequestError):
+                self._degrade()
+        if self._fallback is not None:
+            for op, items in ops:
+                if op == "put":
+                    for doc in items:
+                        entry = CatalogEntry.from_dict(doc)
+                        self._fallback.entries[entry.key] = entry
+                elif op == "stale":
+                    self._fallback.mark_stale(items)
+                elif op == "quality":
+                    for key, rel_error in items:
+                        self._fallback.adjust_quality(key, rel_error)
+            if self._fallback.path is not None:
+                self._fallback.save(merge=merge)
+
+    # ------------------------------------------------------------------
+    # extras (not part of the store interface)
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def claim_share(self, night: str, *, number: int | None = None,
+                    workflow_doc: dict | None = None,
+                    solver: str = "greedy") -> dict:
+        """Ask the server which statistics *this* client taps tonight."""
+        body: dict = {"night": night, "client": self.client_id, "solver": solver}
+        if number is not None:
+            body["number"] = number
+        if workflow_doc is not None:
+            body["workflow"] = workflow_doc
+        return self._request("POST", "/fleet/claim", body)
+
+    def close(self) -> None:
+        self._drop_conn()
+
+
+def resolve_stats_catalog(spec, **client_kwargs):
+    """``stats_catalog=`` coercion: URL -> client, path -> file store."""
+    if is_catalog_url(spec):
+        return CatalogClient(spec, **client_kwargs)
+    if isinstance(spec, (str, Path)):
+        return StatisticsCatalog.open(spec)
+    return spec
+
+
+__all__ = [
+    "CATALOG_URL_PREFIXES",
+    "CatalogClient",
+    "CatalogRequestError",
+    "CatalogUnavailable",
+    "is_catalog_url",
+    "resolve_stats_catalog",
+]

@@ -1,0 +1,371 @@
+"""HTTP transport for the statistics-catalog service.
+
+Stdlib only: :class:`http.server.ThreadingHTTPServer` over TCP, or a
+``ThreadingMixIn`` + :class:`socketserver.UnixStreamServer` composition
+for unix-domain sockets (the low-latency same-host path the benchmarks
+measure).  Requests and responses are JSON; connections are HTTP/1.1
+keep-alive so a client's nightly conversation pays the connect cost once.
+
+Endpoints
+---------
+
+===========================  ====================================================
+``GET /healthz``             liveness + store summary (entries, WAL seq, fence)
+``GET /metrics``             Prometheus 0.0.4 text (the shared exporter)
+``GET /keys``                usable signature keys
+``GET /export``              the full catalog document (client mirror seed)
+``POST /lookup``             ``{keys}`` -> usable entries (counts hits)
+``POST /entries``            ``{se_keys}`` -> every entry on those SEs
+``POST /put``                ``{entries, fence?}`` -> insert/replace (WAL'd)
+``POST /merge``              ``{entries, fence?}`` -> newer-observation-wins fold
+``POST /stale``              ``{keys, fence?}`` -> mark for re-observation
+``POST /quality``            ``{adjust: [[key, rel_error]..], fence?}``
+``POST /gc``                 ``{ttl?, min_quality?, drop_stale?, fence?}``
+``POST /lease``              ``{holder, ttl?}`` -> ``{fence}`` (writer lease)
+``POST /lease/release``      ``{fence}`` -> give the lease back after a save
+``POST /fleet/claim``        ``{number | workflow, night, client?}`` -> my share
+``POST /snapshot``           force a write-behind snapshot + WAL truncation
+===========================  ====================================================
+
+Writes carrying a stale fence token answer **409** -- the holder's lease
+was taken over and its buffered night must not clobber the successor's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.core.persistence import PersistenceError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.service import CatalogService, FenceError
+
+
+def _fleet_workflow(body: dict):
+    """Resolve the workflow a fleet-claim request talks about."""
+    if "number" in body:
+        from repro.workloads import case
+
+        return case(int(body["number"])).build()
+    if "workflow" in body:
+        from repro.algebra.serialize import workflow_from_dict
+
+        return workflow_from_dict(body["workflow"])
+    raise PersistenceError("fleet claim needs 'number' or 'workflow'")
+
+
+class CatalogRequestHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP facade over one :class:`CatalogService`."""
+
+    server_version = "repro-catalog/1"
+    protocol_version = "HTTP/1.1"  # keep-alive: one connection per night
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> CatalogService:
+        return self.server.service
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.server.metrics
+
+    def address_string(self) -> str:  # unix sockets have no peer address
+        try:
+            return super().address_string()
+        except (TypeError, IndexError):  # pragma: no cover - platform quirk
+            return "unix"
+
+    def log_message(self, format: str, *args) -> None:
+        self.server.log(f"{self.address_string()} {format % args}")
+
+    def _reply(self, status: int, doc: dict) -> None:
+        if doc.get("_sent"):
+            return  # the route already streamed its own (non-JSON) body
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        doc = json.loads(raw or b"{}")
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    def _handle(self, method: str) -> None:
+        route = f"{method} {self.path}"
+        started = time.perf_counter()
+        try:
+            status, doc = self._dispatch(method)
+        except FenceError as exc:
+            status, doc = 409, {"error": str(exc)}
+        except (PersistenceError, ValueError, KeyError) as exc:
+            status, doc = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            status, doc = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self.server.log(f"ERROR {route}: {doc['error']}")
+        try:
+            self._reply(status, doc)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client vanished mid-reply; its retry will re-ask
+        self.metrics.counter(
+            "catalog_server_requests_total", "requests by route and status"
+        ).inc(route=self.path, status=str(status))
+        self.metrics.histogram(
+            "catalog_server_request_seconds", "server-side request latency"
+        ).observe(time.perf_counter() - started, route=self.path)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._handle("POST")
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> tuple[int, dict]:
+        service = self.service
+        if method == "GET":
+            if self.path == "/healthz":
+                return 200, service.stats()
+            if self.path == "/metrics":
+                # /metrics is text, not JSON: short-circuit the reply
+                body = self.metrics.render_prometheus().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return 200, {"_sent": True}
+            if self.path == "/keys":
+                return 200, {"keys": sorted(service.usable_keys())}
+            if self.path == "/export":
+                # the full catalog document (clients seed their mirror
+                # from this; it is also a valid on-disk catalog file)
+                return 200, service.to_dict()
+            return 404, {"error": f"no such endpoint {self.path}"}
+
+        body = self._body()
+        fence = body.get("fence")
+        if self.path == "/lookup":
+            entries = service.lookup(
+                body.get("keys", []),
+                now=body.get("now"),
+                count_hits=bool(body.get("count_hits", True)),
+            )
+            return 200, {"entries": [e.to_dict() for e in entries]}
+        if self.path == "/entries":
+            entries = service.entries_on_se(body.get("se_keys", []))
+            return 200, {"entries": [e.to_dict() for e in entries]}
+        if self.path == "/put":
+            seq = service.put_entries(body.get("entries", []), fence=fence)
+            return 200, {"seq": seq}
+        if self.path == "/merge":
+            seq = service.merge_entries(body.get("entries", []), fence=fence)
+            return 200, {"seq": seq}
+        if self.path == "/stale":
+            seq = service.mark_stale(body.get("keys", []), fence=fence)
+            return 200, {"seq": seq}
+        if self.path == "/quality":
+            seq = service.adjust_quality(body.get("adjust", []), fence=fence)
+            return 200, {"seq": seq}
+        if self.path == "/gc":
+            removed = service.gc(
+                ttl=body.get("ttl"),
+                min_quality=body.get("min_quality"),
+                drop_stale=bool(body.get("drop_stale", True)),
+                fence=fence,
+            )
+            return 200, {"removed": removed}
+        if self.path == "/lease":
+            token = service.acquire_lease(
+                str(body.get("holder", "anonymous")), ttl=body.get("ttl")
+            )
+            return 200, {"fence": token}
+        if self.path == "/lease/release":
+            released = service.release_lease(int(body.get("fence", 0)))
+            return 200, {"released": released}
+        if self.path == "/fleet/claim":
+            share = service.plan_share(
+                _fleet_workflow(body),
+                night=str(body.get("night", "tonight")),
+                client=str(body.get("client", "")),
+                solver=str(body.get("solver", "greedy")),
+            )
+            return 200, share
+        if self.path == "/snapshot":
+            service.snapshot()
+            return 200, {"wal_seq": service.wal.last_seq}
+        return 404, {"error": f"no such endpoint {self.path}"}
+
+
+class _ServerCore:
+    """State shared by the TCP and unix-socket server classes."""
+
+    daemon_threads = True
+
+    def init_core(
+        self,
+        service: CatalogService,
+        metrics: MetricsRegistry | None,
+        log_path: str | Path | None,
+    ) -> None:
+        self.service = service
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._log_path = Path(log_path) if log_path else None
+        self._log_lock = threading.Lock()
+
+    def log(self, message: str) -> None:
+        line = f"{time.strftime('%Y-%m-%dT%H:%M:%S')} {message}\n"
+        if self._log_path is None:
+            return
+        with self._log_lock:
+            with open(self._log_path, "a") as handle:
+                handle.write(line)
+
+    def shutdown_service(self) -> None:
+        """Snapshot and close the store (a *graceful* stop; SIGKILL skips
+        this, which is exactly what the WAL is for)."""
+        self.service.close()
+
+
+class TcpCatalogServer(_ServerCore, ThreadingHTTPServer):
+    """``repro-etl serve --listen host:port``."""
+
+
+class UnixCatalogServer(
+    _ServerCore, socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+):
+    """``repro-etl serve --listen unix:///path.sock``."""
+
+    allow_reuse_address = True
+
+    def get_request(self):
+        request, _ = self.socket.accept()
+        return request, ("unix", 0)
+
+    def server_bind(self):
+        # a dead server's socket file blocks rebinding; it is garbage
+        try:
+            os.unlink(self.server_address)
+        except OSError:
+            pass
+        super().server_bind()
+
+
+def parse_listen(listen: str) -> tuple[str, object]:
+    """``host:port`` or ``unix:///path.sock`` -> (kind, address)."""
+    if listen.startswith("unix://"):
+        path = listen[len("unix://"):]
+        if not path:
+            raise PersistenceError(f"empty unix socket path in {listen!r}")
+        return "unix", path
+    if listen.startswith("http://"):
+        listen = listen[len("http://"):].rstrip("/")
+    host, sep, port = listen.rpartition(":")
+    if not sep or not port.isdigit():
+        raise PersistenceError(
+            f"bad listen address {listen!r}; want host:port or unix:///path"
+        )
+    return "tcp", (host or "127.0.0.1", int(port))
+
+
+def make_server(
+    listen: str,
+    catalog_path: str | Path,
+    *,
+    wal_path: str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
+    log_path: str | Path | None = None,
+    snapshot_every: int | None = None,
+    lease_ttl: float | None = None,
+    fsync: bool = True,
+):
+    """Build a ready-to-``serve_forever`` catalog server."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    kwargs = {}
+    if snapshot_every is not None:
+        kwargs["snapshot_every"] = snapshot_every
+    if lease_ttl is not None:
+        kwargs["lease_ttl"] = lease_ttl
+    service = CatalogService(
+        catalog_path, wal_path, metrics=metrics, fsync=fsync, **kwargs
+    )
+    kind, address = parse_listen(listen)
+    if kind == "unix":
+        server = UnixCatalogServer(address, CatalogRequestHandler)
+    else:
+        server = TcpCatalogServer(address, CatalogRequestHandler)
+    server.init_core(service, metrics, log_path)
+    server.log(f"serving catalog {catalog_path} on {listen}")
+    return server
+
+
+class ServerThread:
+    """An in-process server for tests: start, talk, stop (or kill)."""
+
+    def __init__(self, listen: str, catalog_path: str | Path, **kwargs):
+        self.server = make_server(listen, catalog_path, **kwargs)
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        if isinstance(self.server, UnixCatalogServer):
+            return f"unix://{self.server.server_address}"
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.server.shutdown_service()
+
+    def kill(self) -> None:
+        """Stop *without* snapshotting -- the in-process stand-in for
+        SIGKILL (recovery must come from the WAL alone)."""
+        self.server.shutdown()
+        self.server.server_close()
+        self.server.service.wal.close()
+
+
+def resolve_socket_family(url: str) -> tuple[int, object]:
+    """Address family + connect argument for a catalog URL."""
+    kind, address = parse_listen(url)
+    if kind == "unix":
+        return socket.AF_UNIX, address
+    return socket.AF_INET, address
+
+
+__all__ = [
+    "CatalogRequestHandler",
+    "ServerThread",
+    "TcpCatalogServer",
+    "UnixCatalogServer",
+    "make_server",
+    "parse_listen",
+    "resolve_socket_family",
+]

@@ -1,0 +1,529 @@
+"""The catalog service: a crash-safe, concurrent statistics store.
+
+This is the server's brain, factored free of any transport so the crash
+and concurrency properties are testable in-process:
+
+- **Durability.** Every mutation is appended to the
+  :class:`~repro.serve.wal.WriteAheadLog` (fsync'd) *before* it touches
+  memory and before the caller is acknowledged.  Startup loads the last
+  snapshot and replays the log's suffix; an acknowledged write therefore
+  survives ``SIGKILL`` at any instruction, and a torn tail (the one write
+  that was never acknowledged) is discarded.
+
+- **Write-behind snapshots.** Every ``snapshot_every`` applied mutations
+  the in-memory state is written as a normal
+  :class:`~repro.catalog.store.StatisticsCatalog` document (atomic
+  rename) carrying the last absorbed WAL sequence, and the log is
+  truncated.  Replay time is thereby bounded by ``snapshot_every``, not
+  by the server's lifetime, and the snapshot file doubles as the local
+  catalog a degraded client can fall back to.
+
+- **Concurrency.** Entries live in hash-sharded dicts, one lock per
+  shard: readers only contend with writers touching their shard.
+  Mutations are serialized by a single write lock -- WAL order *is*
+  memory order, so replay reconstructs exactly the state the live server
+  had.
+
+- **Lease fencing.** Writers that reconcile a night's run first acquire
+  a lease and attach its fence token to every write.  Tokens are
+  monotonic and WAL-persisted; a paused holder whose lease was taken
+  over comes back with a stale token and every one of its writes is
+  rejected (:class:`FenceError`) instead of clobbering the takeover's.
+
+- **Fleet scheduling.** :meth:`plan_share` is the "what must I tap
+  tonight?" endpoint: each client posts its workflow, the service solves
+  its selection problem with everything the catalog (or an earlier
+  client tonight) already covers entered at zero cost, claims the
+  remainder for that client, and hands back the split.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+from zlib import crc32
+
+from repro.catalog.store import (
+    DEFAULT_MIN_QUALITY,
+    DEFAULT_TTL,
+    CatalogEntry,
+    StatisticsCatalog,
+)
+from repro.core.persistence import FORMAT_VERSION, PersistenceError, atomic_write_json
+from repro.serve.wal import WriteAheadLog
+
+#: shards of the in-memory entry map (per-shard read locks)
+DEFAULT_SHARDS = 16
+
+#: applied mutations between write-behind snapshots
+DEFAULT_SNAPSHOT_EVERY = 256
+
+#: seconds a writer lease lasts unless renewed
+DEFAULT_LEASE_TTL = 60.0
+
+
+class FenceError(PersistenceError):
+    """A write carried a stale fence token: its lease was taken over."""
+
+
+class CatalogService:
+    """Crash-safe, lease-fenced, sharded statistics-catalog state."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        wal_path: str | Path | None = None,
+        *,
+        ttl: float = DEFAULT_TTL,
+        min_quality: float = DEFAULT_MIN_QUALITY,
+        shards: int = DEFAULT_SHARDS,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        fsync: bool = True,
+        metrics=None,
+        clock=time.time,
+    ):
+        self.path = Path(path)
+        self.wal = WriteAheadLog(
+            Path(wal_path) if wal_path is not None else Path(str(path) + ".wal"),
+            fsync=fsync,
+        )
+        self.ttl = ttl
+        self.min_quality = min_quality
+        self.snapshot_every = snapshot_every
+        self.lease_ttl = lease_ttl
+        self.metrics = metrics
+        self.clock = clock
+
+        self._shards: list[dict[str, CatalogEntry]] = [
+            {} for _ in range(max(1, shards))
+        ]
+        self._shard_locks = [threading.Lock() for _ in self._shards]
+        self._write_lock = threading.Lock()
+
+        self.fence = 0  # latest issued lease token (monotonic, WAL'd)
+        self.lease_holder = ""
+        self.lease_deadline = 0.0
+        self.snapshot_seq = 0  # last WAL seq absorbed by the snapshot
+        self._since_snapshot = 0
+        #: per-night fleet claims: night -> statistic key -> claiming client
+        self._claims: dict[str, dict[str, str]] = {}
+
+        self._load()
+
+    # ------------------------------------------------------------------
+    # startup: snapshot + WAL replay
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        replayed = 0
+        if self.path.exists():
+            catalog = StatisticsCatalog.open(
+                self.path, ttl=self.ttl, min_quality=self.min_quality
+            )
+            for key, entry in catalog.entries.items():
+                self._shards[self._shard_index(key)][key] = entry
+            # the snapshot's absorbed-seq rides as an extra top-level field
+            # the plain catalog loader ignores
+            try:
+                doc = json.loads(self.path.read_text())
+                self.snapshot_seq = int(doc.get("wal_seq", 0))
+            except (OSError, ValueError):
+                self.snapshot_seq = 0
+        for record in self.wal.replay(after_seq=self.snapshot_seq):
+            self._apply(record)
+            replayed += 1
+        self.replayed_records = replayed
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "catalog_server_entries", "entries held by the service"
+            ).set(len(self))
+            if replayed:
+                self.metrics.counter(
+                    "catalog_server_wal_replayed_total",
+                    "WAL records replayed at startup",
+                ).inc(replayed)
+
+    # ------------------------------------------------------------------
+    # sharded reads
+    # ------------------------------------------------------------------
+    def _shard_index(self, key: str) -> int:
+        return crc32(key.encode("utf-8")) % len(self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def get(self, key: str) -> CatalogEntry | None:
+        index = self._shard_index(key)
+        with self._shard_locks[index]:
+            return self._shards[index].get(key)
+
+    def lookup(
+        self, keys, now: float | None = None, count_hits: bool = True
+    ) -> list[CatalogEntry]:
+        """The usable entries among ``keys`` (stale/expired never match)."""
+        now = self.clock() if now is None else now
+        out: list[CatalogEntry] = []
+        for key in keys:
+            index = self._shard_index(key)
+            with self._shard_locks[index]:
+                entry = self._shards[index].get(key)
+                if entry is None or not entry.usable(now, self.ttl, self.min_quality):
+                    continue
+                if count_hits:
+                    # hit counts are advisory telemetry, deliberately not
+                    # WAL'd: losing them to a crash costs nothing
+                    entry = replace(entry, hits=entry.hits + 1)
+                    self._shards[index][key] = entry
+                out.append(entry)
+        return out
+
+    def usable_keys(self, now: float | None = None) -> set[str]:
+        now = self.clock() if now is None else now
+        out: set[str] = set()
+        for shard, lock in zip(self._shards, self._shard_locks):
+            with lock:
+                out.update(
+                    key
+                    for key, entry in shard.items()
+                    if entry.usable(now, self.ttl, self.min_quality)
+                )
+        return out
+
+    def entries_on_se(self, se_keys) -> list[CatalogEntry]:
+        wanted = set(se_keys)
+        out: list[CatalogEntry] = []
+        for shard, lock in zip(self._shards, self._shard_locks):
+            with lock:
+                out.extend(
+                    entry for entry in shard.values() if entry.se_key in wanted
+                )
+        return sorted(out, key=lambda e: e.key)
+
+    def all_entries(self) -> list[CatalogEntry]:
+        out: list[CatalogEntry] = []
+        for shard, lock in zip(self._shards, self._shard_locks):
+            with lock:
+                out.extend(shard.values())
+        return sorted(out, key=lambda e: e.key)
+
+    # ------------------------------------------------------------------
+    # leases
+    # ------------------------------------------------------------------
+    def acquire_lease(self, holder: str, ttl: float | None = None) -> int:
+        """Issue a fresh fence token; takes over an expired lease.
+
+        A *live* lease held by someone else is not stolen -- the contender
+        gets a :class:`FenceError` and retries after the TTL.  Every
+        successful acquisition (including a renewal by the same holder)
+        bumps the fence, which is what invalidates a paused predecessor.
+        """
+        ttl = self.lease_ttl if ttl is None else ttl
+        with self._write_lock:
+            now = self.clock()
+            if (
+                self.lease_holder
+                and self.lease_holder != holder
+                and now < self.lease_deadline
+            ):
+                raise FenceError(
+                    f"catalog lease held by {self.lease_holder!r} for another "
+                    f"{self.lease_deadline - now:.0f}s"
+                )
+            fence = self.fence + 1
+            deadline = now + ttl
+            self._append(
+                "lease", fence=fence, holder=holder, deadline=deadline
+            )
+            self.fence = fence
+            self.lease_holder = holder
+            self.lease_deadline = deadline
+            return fence
+
+    def release_lease(self, fence: int) -> bool:
+        """Give the lease back after a completed save.
+
+        Releasing with a stale token is a silent no-op -- the lease was
+        already taken over, so there is nothing of this holder's left to
+        release.  The fence counter itself never goes backwards.
+        """
+        with self._write_lock:
+            if fence != self.fence or not self.lease_holder:
+                return False
+            self._append("lease", fence=self.fence, holder="", deadline=0.0)
+            self.lease_holder = ""
+            self.lease_deadline = 0.0
+            return True
+
+    def _check_fence(self, fence: int | None) -> None:
+        if fence is not None and fence != self.fence:
+            raise FenceError(
+                f"stale fence token {fence} (current {self.fence}): this "
+                "writer's lease was taken over; re-acquire and retry"
+            )
+
+    # ------------------------------------------------------------------
+    # mutations: WAL first, memory second, ack last
+    # ------------------------------------------------------------------
+    def _append(self, op: str, **fields) -> int:
+        seq = self.wal.last_seq + 1
+        self.wal.append(op, seq, **fields)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "catalog_server_wal_records_total", "durable WAL appends"
+            ).inc(op=op)
+        return seq
+
+    def _mutate(self, op: str, fence: int | None = None, **fields) -> int:
+        with self._write_lock:
+            self._check_fence(fence)
+            seq = self._append(op, **fields)
+            self._apply({"op": op, "seq": seq, **fields})
+            self._since_snapshot += 1
+            if self._since_snapshot >= self.snapshot_every:
+                self._snapshot_locked()
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "catalog_server_entries", "entries held by the service"
+                ).set(len(self))
+            return seq
+
+    def put_entries(self, entry_docs, fence: int | None = None) -> int:
+        """Insert-or-replace whole entries (the reconcile write path)."""
+        docs = [self._validated_entry(doc).to_dict() for doc in entry_docs]
+        return self._mutate("put", fence=fence, entries=docs)
+
+    def merge_entries(self, entry_docs, fence: int | None = None) -> int:
+        """Fold entries in, newer ``observed_at`` winning per key."""
+        docs = [self._validated_entry(doc).to_dict() for doc in entry_docs]
+        return self._mutate("merge", fence=fence, entries=docs)
+
+    def mark_stale(self, keys, fence: int | None = None) -> int:
+        return self._mutate("stale", fence=fence, keys=sorted(set(keys)))
+
+    def adjust_quality(self, adjustments, fence: int | None = None) -> int:
+        """Blend prediction errors into quality scores; ``[[key, err]..]``."""
+        pairs = [[str(key), float(err)] for key, err in adjustments]
+        return self._mutate("quality", fence=fence, adjust=pairs)
+
+    def gc(
+        self,
+        ttl: float | None = None,
+        min_quality: float | None = None,
+        drop_stale: bool = True,
+        fence: int | None = None,
+    ) -> int:
+        """Drop expired/low-quality/stale entries; returns the count.
+
+        The doomed set is computed up front and logged as an explicit
+        ``delete`` record, so replay removes exactly the same keys no
+        matter when the replaying process runs.
+        """
+        now = self.clock()
+        ttl = self.ttl if ttl is None else ttl
+        min_quality = self.min_quality if min_quality is None else min_quality
+        doomed: list[str] = []
+        for shard, lock in zip(self._shards, self._shard_locks):
+            with lock:
+                doomed.extend(
+                    key
+                    for key, entry in shard.items()
+                    if entry.expired(now, ttl)
+                    or entry.quality < min_quality
+                    or (drop_stale and entry.stale)
+                )
+        if doomed:
+            self._mutate("delete", fence=fence, keys=sorted(doomed))
+        return len(doomed)
+
+    @staticmethod
+    def _validated_entry(doc) -> CatalogEntry:
+        if isinstance(doc, CatalogEntry):
+            return doc
+        return CatalogEntry.from_dict(doc)
+
+    # ------------------------------------------------------------------
+    # the single apply path (live mutations and replay share it)
+    # ------------------------------------------------------------------
+    def _apply(self, record: dict) -> None:
+        op = record.get("op")
+        if op in ("put", "merge"):
+            for doc in record.get("entries", ()):
+                entry = CatalogEntry.from_dict(doc)
+                index = self._shard_index(entry.key)
+                with self._shard_locks[index]:
+                    mine = self._shards[index].get(entry.key)
+                    if (
+                        op == "merge"
+                        and mine is not None
+                        and mine.observed_at >= entry.observed_at
+                    ):
+                        continue
+                    self._shards[index][entry.key] = entry
+        elif op == "stale":
+            for key in record.get("keys", ()):
+                index = self._shard_index(key)
+                with self._shard_locks[index]:
+                    entry = self._shards[index].get(key)
+                    if entry is not None and not entry.stale:
+                        self._shards[index][key] = replace(entry, stale=True)
+        elif op == "quality":
+            for key, rel_error in record.get("adjust", ()):
+                index = self._shard_index(key)
+                with self._shard_locks[index]:
+                    entry = self._shards[index].get(key)
+                    if entry is None:
+                        continue
+                    accuracy = max(0.0, 1.0 - min(float(rel_error), 1.0))
+                    self._shards[index][key] = replace(
+                        entry, quality=0.5 * entry.quality + 0.5 * accuracy
+                    )
+        elif op == "delete":
+            for key in record.get("keys", ()):
+                index = self._shard_index(key)
+                with self._shard_locks[index]:
+                    self._shards[index].pop(key, None)
+        elif op == "lease":
+            self.fence = max(self.fence, int(record.get("fence", 0)))
+            self.lease_holder = str(record.get("holder", ""))
+            self.lease_deadline = float(record.get("deadline", 0.0))
+        else:
+            raise PersistenceError(f"WAL record with unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        entries = self.all_entries()
+        return {
+            "format_version": FORMAT_VERSION,
+            "kind": "statistics-catalog",
+            "entries": [entry.to_dict() for entry in entries],
+            "wal_seq": self.wal.last_seq,
+        }
+
+    def snapshot(self) -> None:
+        """Persist memory as a plain catalog document, truncate the WAL."""
+        with self._write_lock:
+            self._snapshot_locked()
+
+    def _snapshot_locked(self) -> None:
+        doc = self.to_dict()
+        atomic_write_json(doc, self.path)
+        self.snapshot_seq = doc["wal_seq"]
+        self.wal.truncate()
+        # the lease fence must survive the truncation: re-seed the fresh
+        # log so a post-snapshot restart still rejects pre-snapshot tokens
+        if self.fence:
+            self._append(
+                "lease",
+                fence=self.fence,
+                holder=self.lease_holder,
+                deadline=self.lease_deadline,
+            )
+        self._since_snapshot = 0
+        if self.metrics is not None:
+            self.metrics.counter(
+                "catalog_server_snapshots_total", "write-behind snapshots"
+            ).inc()
+
+    def close(self) -> None:
+        self.snapshot()
+        self.wal.close()
+
+    # ------------------------------------------------------------------
+    # fleet scheduling: hand each client its zero-cost share
+    # ------------------------------------------------------------------
+    def plan_share(
+        self,
+        workflow,
+        night: str,
+        client: str = "",
+        solver: str = "greedy",
+    ) -> dict:
+        """One client's share of tonight's fleet observation plan.
+
+        Statistics the catalog already covers, or that an earlier client
+        claimed tonight, enter this workflow's selection problem at zero
+        cost (the Section 6.2 mechanism); whatever the solver still wants
+        observed is *claimed* for this client, so the next caller sees it
+        as free.  Each shared statistic is therefore tapped exactly once
+        per night across the fleet.
+        """
+        from repro.algebra.blocks import analyze
+        from repro.catalog.signatures import SignatureError, WorkflowSigner
+        from repro.core.costs import CostModel
+        from repro.core.generator import GeneratorOptions, generate_css
+        from repro.core.greedy import solve_greedy
+        from repro.core.ilp import solve_ilp
+        from repro.core.selection import build_problem
+
+        analysis = analyze(workflow)
+        css = generate_css(analysis, GeneratorOptions())
+        signer = WorkflowSigner(analysis)
+        keys = {}
+        for stat in css.all_statistics:
+            try:
+                keys[stat] = signer.statistic_key(stat)
+            except SignatureError:
+                continue
+        catalog_keys = self.usable_keys()
+        with self._write_lock:
+            claimed = self._claims.setdefault(night, {})
+            free = {
+                stat
+                for stat, key in keys.items()
+                if key in claimed or key in catalog_keys
+            }
+            solve = solve_greedy if solver == "greedy" else solve_ilp
+            selection = solve(
+                build_problem(
+                    css, CostModel(workflow.catalog), free_statistics=free
+                )
+            )
+            observe: list[dict] = []
+            shared: dict[str, str] = {}
+            name = client or workflow.name
+            for stat in selection.observed:
+                key = keys.get(stat)
+                if key is not None and key in claimed:
+                    shared[key] = claimed[key]
+                    continue
+                if key is not None and key in catalog_keys:
+                    shared[key] = "catalog"
+                    continue
+                observe.append({"key": key, "repr": repr(stat)})
+                if key is not None:
+                    claimed[key] = name
+        return {
+            "night": night,
+            "client": name,
+            "observe": observe,
+            "shared": shared,
+            "selection_cost": selection.total_cost,
+        }
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The health document ``GET /healthz`` returns."""
+        return {
+            "ok": True,
+            "entries": len(self),
+            "usable": len(self.usable_keys()),
+            "wal_seq": self.wal.last_seq,
+            "snapshot_seq": self.snapshot_seq,
+            "fence": self.fence,
+            "lease_holder": self.lease_holder,
+            "nights": sorted(self._claims),
+        }
+
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_SHARDS",
+    "DEFAULT_SNAPSHOT_EVERY",
+    "CatalogService",
+    "FenceError",
+]

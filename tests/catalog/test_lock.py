@@ -1,13 +1,22 @@
 """Advisory catalog locking and merge-on-save (concurrent fleet runs)."""
 
 import os
+import subprocess
+import sys
+import textwrap
 import time
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.core.persistence import PersistenceError
 from repro.core.statistics import Statistic
-from repro.catalog.store import StatisticsCatalog, catalog_lock
+from repro.catalog.store import (
+    CatalogLockHandle,
+    StatisticsCatalog,
+    catalog_lock,
+)
 
 pytestmark = pytest.mark.catalog
 
@@ -60,6 +69,101 @@ class TestCatalogLock:
         for _ in range(3):
             with catalog_lock(target):
                 pass
+
+
+class TestLockFence:
+    """The stale-takeover race: a paused holder must not clobber its
+    successor.  The fence token in the lock file is what detects it."""
+
+    def test_handle_carries_a_validating_token(self, tmp_path):
+        target = tmp_path / "catalog.json"
+        with catalog_lock(target) as lock:
+            assert isinstance(lock, CatalogLockHandle)
+            assert lock.held()
+            lock.validate()  # must not raise while we own the file
+
+    def test_validate_fails_after_takeover(self, tmp_path):
+        target = tmp_path / "catalog.json"
+        lock_path = tmp_path / "catalog.json.lock"
+        with catalog_lock(target) as lock:
+            # simulate a takeover: the successor unlinked our stale file
+            # and wrote its own (our flock is on the orphaned inode)
+            lock_path.unlink()
+            lock_path.write_text("pid=0\ntoken=somebody-else\n")
+            assert not lock.held()
+            with pytest.raises(PersistenceError, match="taken over"):
+                lock.validate()
+        # release must NOT delete the new holder's lock file
+        assert lock_path.exists()
+        assert "somebody-else" in lock_path.read_text()
+
+    def test_validate_fails_when_lock_file_vanished(self, tmp_path):
+        target = tmp_path / "catalog.json"
+        with catalog_lock(target) as lock:
+            (tmp_path / "catalog.json.lock").unlink()
+            with pytest.raises(PersistenceError, match="taken over"):
+                lock.validate()
+
+    def test_two_process_stale_takeover_is_fenced(self, tmp_path):
+        """Process A stalls holding the lock; we take it over; A's late
+        save must abort with the fence error, not overwrite our file."""
+        path = tmp_path / "catalog.json"
+        flag = tmp_path / "takeover.done"
+        script = textwrap.dedent(
+            f"""
+            import sys, time
+            from repro.catalog.store import StatisticsCatalog, catalog_lock
+
+            catalog = StatisticsCatalog.open({str(path)!r})
+            try:
+                catalog.save()          # lock -> merge -> validate -> write
+            except Exception as exc:
+                print("SAVE-FAILED", type(exc).__name__, flush=True)
+
+            # now model the pause *inside* the critical section
+            from repro.core.persistence import PersistenceError
+            with catalog_lock({str(path)!r}) as lock:
+                print("HELD", flush=True)
+                deadline = time.time() + 20
+                while time.time() < deadline:   # "GC pause" until takeover
+                    if {str(flag)!r} and __import__("pathlib").Path({str(flag)!r}).exists():
+                        break
+                    time.sleep(0.02)
+                try:
+                    lock.validate()
+                except PersistenceError:
+                    print("FENCED", flush=True)
+                    sys.exit(0)
+                print("CLOBBERED", flush=True)
+                sys.exit(1)
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parent.parent)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            while line and line != "HELD":
+                line = proc.stdout.readline().strip()
+            assert line == "HELD"
+            # age A's lock past the stale deadline and take it over
+            lock_path = Path(str(path) + ".lock")
+            old = time.time() - 3600
+            os.utime(lock_path, (old, old))
+            with catalog_lock(
+                path, timeout=5.0, stale_after=60.0, poll=0.01
+            ) as mine:
+                flag.write_text("go")
+                out, _ = proc.communicate(timeout=30)
+                assert "FENCED" in out
+                assert proc.returncode == 0
+                mine.validate()  # the takeover still holds its own fence
+        finally:
+            if proc.poll() is None:  # pragma: no cover - only on failure
+                proc.kill()
 
 
 class TestMergeOnSave:

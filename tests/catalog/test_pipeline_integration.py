@@ -94,6 +94,75 @@ class TestSessionWiring:
         assert run_ids <= {"run0", "run1"}
 
 
+class TestResumeWithCatalog:
+    """A checkpoint-restored statistic was observed on an earlier night;
+    the resumed run must not hand it to the catalog as tonight's fresh
+    observation (double-refresh corrupts provenance timestamps)."""
+
+    def test_restored_statistics_not_recorded_as_fresh(self, tmp_path):
+        from repro.framework.recovery import RunCheckpoint
+
+        wfcase, pipeline = fresh(11)
+        sources = wfcase.tables(scale=0.2, seed=7)
+        cp_path = tmp_path / "cp.json"
+
+        # night 1 journals every block but crashes before the catalog
+        # reconcile (modelled by simply not passing a catalog)
+        cp = RunCheckpoint.open(cp_path)
+        pipeline.run_once(sources, checkpoint=cp, run_id="night1")
+        assert cp.completed
+
+        # night 2 resumes the finished journal: every block restores,
+        # no tap actually fires -- the checkpoint's statistics must not
+        # enter the catalog stamped as night-2 observations
+        catalog = StatisticsCatalog(tmp_path / "catalog.json")
+        resumed = RunCheckpoint.open(cp_path)
+        report = pipeline.run_once(
+            sources,
+            checkpoint=resumed,
+            stats_catalog=catalog,
+            run_id="night2",
+        )
+        assert report.run.restored_statistics
+        assert report.drift is not None
+        assert report.drift.added == []
+        assert report.drift.refreshed == []
+        assert not any(
+            entry.run_id == "night2" for entry in catalog.entries.values()
+        )
+
+    def test_catalog_provenance_stable_across_resume(self, tmp_path):
+        from repro.framework.recovery import RunCheckpoint
+
+        wfcase, pipeline = fresh(11)
+        sources = wfcase.tables(scale=0.2, seed=7)
+        cp_path = tmp_path / "cp.json"
+        catalog = StatisticsCatalog(tmp_path / "catalog.json")
+
+        cp = RunCheckpoint.open(cp_path)
+        pipeline.run_once(
+            sources, checkpoint=cp, stats_catalog=catalog, run_id="night1"
+        )
+        before = {
+            key: (entry.observed_at, entry.run_id)
+            for key, entry in catalog.entries.items()
+        }
+        assert before
+
+        resumed = RunCheckpoint.open(cp_path)
+        pipeline.run_once(
+            sources,
+            checkpoint=resumed,
+            stats_catalog=catalog,
+            run_id="night2",
+        )
+        after = {
+            key: (entry.observed_at, entry.run_id)
+            for key, entry in catalog.entries.items()
+        }
+        assert after == before
+
+
 class TestDegradedWithCatalog:
     def test_catalog_backfills_failed_block(self, tmp_path):
         wfcase, pipeline = fresh(11)

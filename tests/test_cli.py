@@ -365,6 +365,50 @@ class TestCatalogCommands:
                      str(tmp_path / "dest.json"), missing]) == 1
         capsys.readouterr()
 
+    def test_corrupt_catalog_is_one_line_error(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{ not json")
+        assert main(["catalog", "export", str(corrupt)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+        assert main(["catalog", "import",
+                     str(tmp_path / "dest.json"), str(corrupt)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_unwritable_destination_is_one_line_error(self, tmp_path, capsys):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory write permission bits")
+        _, catalog = self._run(tmp_path)
+        capsys.readouterr()
+        sealed = tmp_path / "sealed"
+        sealed.mkdir()
+        dest = str(sealed / "dest.json")
+        sealed.chmod(0o500)
+        try:
+            assert main(["catalog", "import", dest, catalog]) == 1
+            err = capsys.readouterr().err
+            assert err.startswith("error:") and err.count("\n") == 1
+        finally:
+            sealed.chmod(0o700)
+
+    def test_gc_unwritable_catalog_is_one_line_error(self, tmp_path, capsys):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory write permission bits")
+        _, catalog = self._run(tmp_path)
+        capsys.readouterr()
+        tmp_path.chmod(0o500)  # the lock sidecar cannot be created
+        try:
+            assert main(["catalog", "gc", catalog]) == 1
+            err = capsys.readouterr().err
+            assert err.startswith("error:") and err.count("\n") == 1
+        finally:
+            tmp_path.chmod(0o700)
+
 
 class TestDeterministicExport:
     def test_export_json_is_stable_and_sorted(self, capsys):

@@ -27,10 +27,10 @@ import gc
 import json
 import time
 
-from conftest import DATA_SCALE, write_report
+from conftest import DATA_SCALE, single_process_backends, write_report
 
 from repro.algebra.blocks import analyze
-from repro.engine.backend import BackendExecutor, available_backends
+from repro.engine.backend import BackendExecutor
 from repro.workloads import case
 
 THROUGHPUT_WORKFLOW = 21  # largest single-block workload: 8-way join
@@ -71,7 +71,7 @@ def _throughput():
         n_rows = sum(t.num_rows for t in sources.values())
         walls = {
             (b, compiled): _best_wall(analysis, b, sources, compiled=compiled)
-            for b in available_backends()
+            for b in single_process_backends()
             for compiled in (False, True)
         }
         baseline = walls[("columnar", False)]

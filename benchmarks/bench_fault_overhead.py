@@ -22,10 +22,10 @@ import gc
 import json
 import time
 
-from conftest import DATA_SCALE, write_report
+from conftest import DATA_SCALE, single_process_backends, write_report
 
 from repro.algebra.blocks import analyze
-from repro.engine.backend import BackendExecutor, available_backends
+from repro.engine.backend import BackendExecutor
 from repro.engine.faults import FaultPlan, FaultSpec
 from repro.engine.scheduler import RetryPolicy
 from repro.workloads import case
@@ -79,7 +79,7 @@ def _measure():
     sources = wfcase.tables(scale=max(DATA_SCALE * 10, 3.0), seed=7)
     n_rows = sum(t.num_rows for t in sources.values())
     rows, records = [], []
-    for backend in available_backends():
+    for backend in single_process_backends():
         walls = {
             name: _best_wall(analysis, backend, sources, kwargs)
             for name, kwargs in CONFIGS.items()

@@ -25,10 +25,10 @@ import gc
 import json
 import time
 
-from conftest import write_report
+from conftest import single_process_backends, write_report
 
 from repro.algebra.blocks import analyze
-from repro.engine.backend import BackendExecutor, available_backends
+from repro.engine.backend import BackendExecutor
 from repro.engine.compile import compile_blocks
 from repro.workloads import case
 
@@ -73,7 +73,7 @@ def _measure():
 
     rows = []
     records = []
-    for backend in available_backends():
+    for backend in single_process_backends():
         interp = _best_wall(
             lambda: BackendExecutor(
                 analysis, backend, compile_plans=False

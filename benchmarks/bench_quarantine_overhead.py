@@ -27,9 +27,8 @@ import gc
 import json
 import time
 
-from conftest import DATA_SCALE, write_report
+from conftest import DATA_SCALE, single_process_backends, write_report
 
-from repro.engine.backend import available_backends
 from repro.framework.pipeline import StatisticsPipeline
 from repro.quality import ContractSet, QualityGate
 from repro.workloads import case
@@ -70,7 +69,7 @@ def _measure():
     gate_wall = _timed(screen)
 
     rows, records = [], []
-    for backend in available_backends():
+    for backend in single_process_backends():
         pipeline = StatisticsPipeline(
             wfcase.build(), backend=backend, solver="greedy"
         )

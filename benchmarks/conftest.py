@@ -45,6 +45,18 @@ def workflow_analyses(workflow_cases):
     return out
 
 
+def single_process_backends() -> list[str]:
+    """The in-process execution engines the generic ablations compare.
+
+    The multiprocess backend is deliberately excluded: it forks a worker
+    pool per configuration (skewing in-process overhead measurements) and
+    has its own dedicated scaling bench, ``bench_dist_throughput``.
+    """
+    from repro.engine.backend import available_backends
+
+    return [b for b in available_backends() if b != "multiprocess"]
+
+
 def write_report(results_dir: Path, name: str, title: str,
                  header: list[str], rows: list[list]) -> str:
     """Render a markdown table, print it, and persist it."""

@@ -8,9 +8,10 @@ console script):
 - ``identify <workflow.json|.xml>`` -- run statistics identification
   (Algorithm 1 + the Section 5 selection) and print the chosen set;
 - ``run --number N`` -- execute a suite workflow end to end on a chosen
-  execution backend (``--backend columnar|streaming|vectorized``,
-  ``--workers W`` for the parallel block scheduler) and print the
-  observe-and-optimize report.  Resilience flags: ``--faults spec.json``
+  execution backend (``--backend columnar|streaming|vectorized|
+  multiprocess``, ``--workers W`` for the parallel block scheduler,
+  ``--shards K`` for multi-process row sharding, which implies the
+  multiprocess backend) and print the observe-and-optimize report.  Resilience flags: ``--faults spec.json``
   injects a deterministic chaos plan, ``--max-retries N`` and
   ``--block-timeout S`` configure the scheduler's retry/deadline policy,
   ``--resume checkpoint.json`` journals per-block progress to (and, if
@@ -213,11 +214,26 @@ def _cmd_run(args) -> int:
     wfcase = _case(args.number)
     workflow = wfcase.build()
     sources = wfcase.tables(scale=args.scale, seed=args.seed)
+    if args.shards is not None:
+        import os
+
+        if args.shards < 1:
+            raise CliError(
+                f"--shards must be a positive integer, got {args.shards}"
+            )
+        cap = (os.cpu_count() or 1) * 8
+        if args.shards > cap:
+            raise CliError(
+                f"--shards {args.shards} exceeds {cap} "
+                f"(8 x the {os.cpu_count() or 1} available CPUs); "
+                "that many row shards would only add merge overhead"
+            )
     pipeline = StatisticsPipeline(
         workflow,
         solver=args.solver,
         backend=args.backend,
         workers=args.workers,
+        shards=args.shards,
         compile=False if args.no_compile else None,
     )
 
@@ -305,9 +321,10 @@ def _cmd_run(args) -> int:
         quarantine=quarantine,
     )
     total_in = sum(t.num_rows for t in sources.values())
+    sharded = f" shards={pipeline.shards}" if pipeline.shards else ""
     print(
-        f"wf{wfcase.number:02d} {wfcase.name} on backend={args.backend} "
-        f"workers={args.workers} ({total_in} source rows)"
+        f"wf{wfcase.number:02d} {wfcase.name} on backend={pipeline.backend} "
+        f"workers={args.workers}{sharded} ({total_in} source rows)"
     )
     for name in sorted(report.run.targets):
         print(f"  target {name}: {report.run.targets[name].num_rows} rows")
@@ -657,6 +674,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="parallel block-scheduler width (1 = serial)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="row shards per block for the multiprocess backend "
+        "(implies --backend multiprocess)",
     )
     p.add_argument(
         "--no-compile",

@@ -76,6 +76,10 @@ class WorkflowRun:
     #: tonight -- catalog reconciliation must not refresh their provenance
     #: as if they were fresh taps
     restored_statistics: frozenset = frozenset()
+    #: sharded-backend bookkeeping (shard/task/retry counts, shm bytes);
+    #: empty for single-process backends.  ``repro.obs`` turns these into
+    #: ``etl_shard_*`` metrics
+    shard_stats: dict = field(default_factory=dict)
 
     def target(self, name: str) -> Table:
         return self.targets[name]
@@ -135,6 +139,9 @@ class RunContext:
     state: dict = field(default_factory=dict)
     tracer: Any = None
     estimates: "dict[AnySE, float] | None" = None
+    #: the run's fault injector (or ``None``); sharding backends consult
+    #: it for shard-scoped faults (worker kill/hang) at dispatch time
+    injector: Any = None
 
     def note(self, se: AnySE, table: Table) -> None:
         """Record a plan point's size and fire the table-level taps."""
@@ -188,6 +195,32 @@ class ExecutionBackend:
     def make_taps(self, stats: Iterable = ()):
         """Instrumentation object compatible with this backend."""
         raise NotImplementedError
+
+    def begin_run(
+        self,
+        analysis: BlockAnalysis,
+        sources: dict[str, Table],
+        taps,
+        compile_plans: bool,
+    ) -> None:
+        """Run-start hook, fired after source faults and before screening.
+
+        Default no-op.  Sharding backends use it to snapshot the analysis
+        and source tables for their worker pool (fork inheritance) before
+        any per-run mutation happens.
+        """
+
+    def screen_sources(self, quality, sources, *, tracer=None, trace_parent=None):
+        """Route contracted sources through the quality gate.
+
+        Default delegates to the gate unchanged; sharding backends
+        override to validate row shards in parallel (re-keying per-shard
+        violations to global row ids so the quarantine output is
+        identical).
+        """
+        return quality.screen_sources(
+            sources, tracer=tracer, trace_parent=trace_parent
+        )
 
     def execute_block(self, block: Block, tree: PlanTree, ctx: RunContext) -> Table:
         """Run one optimizable block with the given join tree."""
@@ -308,9 +341,12 @@ class BackendExecutor:
         injector = as_injector(faults)
         if injector is not None:
             sources = injector.apply_sources(sources)
+        self.backend.begin_run(
+            self.analysis, sources, taps, self._compile_enabled()
+        )
         if quality is not None:
-            sources = quality.screen_sources(
-                sources, tracer=tracer, trace_parent=trace_parent
+            sources = self.backend.screen_sources(
+                quality, sources, tracer=tracer, trace_parent=trace_parent
             )
         self._check_sources(sources)
         run = WorkflowRun(env=dict(sources))
@@ -324,6 +360,7 @@ class BackendExecutor:
             kernels=self.backend.make_kernels(),
             tracer=tracer,
             estimates=estimates,
+            injector=injector,
         )
 
         compiled, profile, engine = self._compile(
@@ -558,6 +595,10 @@ def _builtin_factories() -> None:
         from repro.engine.vectorized import VectorizedBackend
 
         register_backend("vectorized", VectorizedBackend)
+    if "multiprocess" not in _REGISTRY:
+        from repro.engine.dist import MultiprocessBackend
+
+        register_backend("multiprocess", MultiprocessBackend)
 
 
 def available_backends() -> list[str]:

@@ -1,0 +1,23 @@
+"""Multi-process sharded execution (the ``multiprocess`` backend).
+
+Splits each block's input tables into row shards, executes the shards in
+a pool of forked worker processes over shared-memory columnar buffers,
+and merges the per-shard tap observations back into exact whole-table
+statistics.  See :mod:`repro.engine.dist.sharding` for the shard-strategy
+math, :mod:`repro.engine.dist.worker` for the in-worker execution path,
+and :mod:`repro.engine.dist.backend` for the orchestrating
+:class:`MultiprocessBackend`.
+"""
+
+from repro.engine.dist.backend import MultiprocessBackend, ShardExecutionError
+from repro.engine.dist.sharding import ShardPlan, plan_block_shards
+from repro.engine.dist.worker import ShardResult, WorkerState
+
+__all__ = [
+    "MultiprocessBackend",
+    "ShardExecutionError",
+    "ShardPlan",
+    "ShardResult",
+    "WorkerState",
+    "plan_block_shards",
+]

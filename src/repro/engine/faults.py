@@ -59,6 +59,11 @@ FAULT_KINDS = (
     "server-kill",
     "server-hang",
     "net-flap",
+    # shard-worker injectors: consulted by sharding backends at shard
+    # dispatch (``on_shard``), so a worker process dying or hanging mid-run
+    # exercises the pool-recovery and shard-retry path
+    "worker-kill",
+    "worker-hang",
 )
 
 #: kinds applied to the source map before execution (never raised in-task)
@@ -66,6 +71,9 @@ _SOURCE_KINDS = ("truncate", "corrupt-row", "type-flip", "column-rename", "null-
 
 #: kinds fired at catalog-client request boundaries (see ``on_request``)
 _SERVER_KINDS = ("server-kill", "server-hang", "net-flap")
+
+#: kinds fired at shard dispatch inside a sharding backend (see ``on_shard``)
+_SHARD_KINDS = ("worker-kill", "worker-hang")
 
 #: source kinds that poison individual rows (need ``fraction`` or ``rows``)
 _DIRTY_ROW_KINDS = ("corrupt-row", "type-flip", "null-burst")
@@ -120,6 +128,7 @@ class FaultSpec:
     column: str | None = None  # dirty kinds: the column to poison/rename
     fraction: float | None = None  # dirty row kinds: fraction of rows poisoned
     rename_to: str | None = None  # column-rename: the arriving column name
+    shard: int | None = None  # worker kinds: the shard index hit (default 0)
     message: str = ""
 
     def __post_init__(self) -> None:
@@ -150,6 +159,11 @@ class FaultSpec:
             raise FaultError("a column-rename fault needs 'column'")
         if self.rename_to is not None and self.kind != "column-rename":
             raise FaultError("'rename_to' only applies to column-rename faults")
+        if self.shard is not None:
+            if self.kind not in _SHARD_KINDS:
+                raise FaultError(f"'shard' only applies to {_SHARD_KINDS}")
+            if self.shard < 0:
+                raise FaultError(f"shard must be >= 0, got {self.shard}")
 
     def matches(self, name: str) -> bool:
         return fnmatchcase(name, self.target)
@@ -160,8 +174,12 @@ class FaultSpec:
         if self.times is not None:
             return self.times
         # a lone network flap, like a lone transient, should be outlived
-        # by a single retry; a killed server stays dead until restarted
-        return 1 if self.kind in ("transient", "net-flap") else None
+        # by a single retry; a killed server stays dead until restarted.
+        # a killed/hung worker is *replaced* by the pool, so the default
+        # budget is one firing and the shard retry converges
+        if self.kind in ("transient", "net-flap", "worker-kill", "worker-hang"):
+            return 1
+        return None
 
     def to_dict(self) -> dict:
         doc: dict = {"target": self.target, "kind": self.kind}
@@ -181,6 +199,8 @@ class FaultSpec:
             doc["fraction"] = self.fraction
         if self.rename_to is not None:
             doc["rename_to"] = self.rename_to
+        if self.shard is not None:
+            doc["shard"] = self.shard
         if self.message:
             doc["message"] = self.message
         return doc
@@ -191,7 +211,8 @@ class FaultSpec:
             raise FaultError(f"fault spec must be an object, got {doc!r}")
         unknown = set(doc) - {
             "target", "kind", "times", "probability", "delay",
-            "keep", "rows", "column", "fraction", "rename_to", "message",
+            "keep", "rows", "column", "fraction", "rename_to", "shard",
+            "message",
         }
         if unknown:
             raise FaultError(f"unknown fault spec field(s): {sorted(unknown)}")
@@ -207,6 +228,7 @@ class FaultSpec:
                 column=doc.get("column"),
                 fraction=doc.get("fraction"),
                 rename_to=doc.get("rename_to"),
+                shard=doc.get("shard"),
                 message=doc.get("message", ""),
             )
         except KeyError as exc:
@@ -385,7 +407,11 @@ class FaultInjector:
         with self._lock:
             self._attempts[task_name] += 1
             for index, spec in enumerate(self.plan.specs):
-                if spec.kind in _SOURCE_KINDS or spec.kind in _SERVER_KINDS:
+                if (
+                    spec.kind in _SOURCE_KINDS
+                    or spec.kind in _SERVER_KINDS
+                    or spec.kind in _SHARD_KINDS
+                ):
                     continue
                 scope = next((s for s in scopes if spec.matches(s)), None)
                 if scope is None:
@@ -480,6 +506,53 @@ class FaultInjector:
             time.sleep(pause)
         if raised is not None:
             raise raised
+
+    def on_shard(self, block_name: str, shard: int) -> "FaultSpec | None":
+        """The worker fault (if any) to apply to one shard dispatch.
+
+        Consulted by sharding backends in the *parent* right before a
+        shard task is submitted; the returned spec's kind tells the worker
+        what to do to itself (``worker-kill`` -> die abruptly,
+        ``worker-hang`` -> stall for ``delay`` seconds).  Matching is by
+        block name (glob) plus the spec's ``shard`` index (default 0);
+        budgets and probability draws mirror :meth:`on_attempt`, keyed per
+        (spec, block) so a retried shard consults the remaining budget --
+        which is what makes a default worker-kill survivable by a single
+        shard retry.
+        """
+        directive: FaultSpec | None = None
+        with self._lock:
+            for index, spec in enumerate(self.plan.specs):
+                if spec.kind not in _SHARD_KINDS:
+                    continue
+                if not spec.matches(block_name):
+                    continue
+                if (spec.shard if spec.shard is not None else 0) != shard:
+                    continue
+                key = (index, f"{block_name}#shard{shard}")
+                limit = spec.fire_limit
+                if limit is not None and self._fired[key] >= limit:
+                    continue
+                if spec.probability < 1.0:
+                    rng = self._rngs.setdefault(
+                        key,
+                        random.Random(f"{self.plan.seed}:{index}:{key[1]}"),
+                    )
+                    if rng.random() >= spec.probability:
+                        continue
+                self._fired[key] += 1
+                self._attempts[key[1]] += 1
+                self.events.append(
+                    FaultEvent(
+                        task=key[1],
+                        target=spec.target,
+                        kind=spec.kind,
+                        attempt=self._attempts[key[1]],
+                    )
+                )
+                directive = spec
+                break
+        return directive
 
     def fired(self) -> int:
         """Total number of fault firings so far."""

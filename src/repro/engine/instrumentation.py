@@ -32,6 +32,55 @@ class InstrumentationError(ValueError):
     """Raised when asked to observe something no plan point can provide."""
 
 
+class DistinctAccumulator:
+    """Exact mergeable distinct-value state for one statistic.
+
+    Counts and histogram buckets merge additively across disjoint row
+    shards, but a distinct count does not: merging needs the underlying
+    value sets (or a mergeable sketch of them).  This class is that seam.
+    Today it keeps the exact value set; an HLL / stratified sketch (the
+    ROADMAP sketch item) drops in by re-implementing the same four-method
+    interface -- ``add`` / ``update`` / ``merge`` / ``result`` -- without
+    touching any tap or backend code.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[tuple] = ()):
+        self.values: set[tuple] = set(values)
+
+    def add(self, value: tuple) -> None:
+        self.values.add(value)
+
+    def update(self, values: Iterable[tuple]) -> None:
+        self.values.update(values)
+
+    def merge(self, other: "DistinctAccumulator") -> None:
+        """Fold another shard's accumulator into this one (set union)."""
+        self.values |= other.values
+
+    def result(self) -> int:
+        """The distinct count over everything accumulated so far."""
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DistinctAccumulator):
+            return NotImplemented
+        return self.values == other.values
+
+
+def make_distinct_accumulator(values: Iterable[tuple] = ()) -> DistinctAccumulator:
+    """Factory for the distinct combiner the mergeable taps use.
+
+    Swap the returned implementation here (e.g. for an HLL sketch) and
+    every sharded merge path picks it up.
+    """
+    return DistinctAccumulator(values)
+
+
 class TapSet:
     """Groups requested statistics by observation point and collects them."""
 
@@ -40,9 +89,16 @@ class TapSet:
     #: compiled plans batch their observations accordingly
     additive = False
 
-    def __init__(self, stats: Iterable[Statistic] = ()):
+    def __init__(
+        self, stats: Iterable[Statistic] = (), *, mergeable: bool = False
+    ):
         self._by_se: dict[AnySE, list[Statistic]] = {}
         self.store = StatisticsStore()
+        #: mergeable tap sets retain distinct *value* accumulators (not
+        #: just the counts) so disjoint row shards can be folded together
+        #: with :meth:`merge`; plain tap sets skip that memory cost
+        self.mergeable = mergeable
+        self._distinct_values: dict[Statistic, DistinctAccumulator] = {}
         for stat in stats:
             self.request(stat)
 
@@ -80,6 +136,12 @@ class TapSet:
                         f"not live at {se!r} (have {table.attrs})"
                     )
                 self.store.put(stat, table.histogram(stat.attrs))
+            elif self.mergeable:
+                acc = self._distinct_values.setdefault(
+                    stat, make_distinct_accumulator()
+                )
+                acc.update(table.rows(stat.attrs))
+                self.store.put(stat, acc.result())
             else:
                 self.store.put(stat, table.distinct_count(stat.attrs))
 
@@ -121,8 +183,85 @@ class TapSet:
             rows = zip(*(columns[a] for a in stat.attrs))
             if stat.kind is StatKind.HISTOGRAM:
                 self.store.put(stat, Histogram.from_rows(tuple(stat.attrs), rows))
+            elif self.mergeable:
+                acc = self._distinct_values.setdefault(
+                    stat, make_distinct_accumulator()
+                )
+                acc.update(rows)
+                self.store.put(stat, acc.result())
             else:
                 self.store.put(stat, len(set(rows)))
+
+    # ------------------------------------------------------------------
+    # mergeable-observation protocol (sharded execution)
+    # ------------------------------------------------------------------
+    def merge(self, other: "TapSet") -> None:
+        """Fold another tap set's observations into this one.
+
+        Both operands must be :attr:`mergeable` and must have observed
+        **disjoint row shards** of the same logical points; under that
+        contract the merge is exact:
+
+        - cardinalities add;
+        - histogram buckets add (:meth:`Histogram.add`, Equation 1's
+          union of disjoint row sets);
+        - distinct values merge through the
+          :class:`DistinctAccumulator` combiner (set union today, a
+          sketch later).
+        """
+        if not (self.mergeable and other.mergeable):
+            raise InstrumentationError(
+                "merge() requires both tap sets to be constructed with "
+                "mergeable=True (distinct counts cannot be merged without "
+                "their value accumulators)"
+            )
+        for se, bucket in other._by_se.items():
+            mine = self._by_se.setdefault(se, [])
+            for stat in bucket:
+                if stat not in mine:
+                    mine.append(stat)
+        for stat, value in other.store.items():
+            if stat.kind is StatKind.CARDINALITY:
+                self.store.put(stat, self.store.maybe(stat, 0) + value)
+            elif stat.kind is StatKind.HISTOGRAM:
+                base = self.store.maybe(stat)
+                self.store.put(stat, value if base is None else base.add(value))
+            else:
+                acc = self._distinct_values.setdefault(
+                    stat, make_distinct_accumulator()
+                )
+                theirs = other._distinct_values.get(stat)
+                if theirs is None:
+                    raise InstrumentationError(
+                        f"cannot merge {stat!r}: the other tap set has no "
+                        "distinct-value accumulator for it"
+                    )
+                acc.merge(theirs)
+                self.store.put(stat, acc.result())
+
+    def discard_points(self, ses: Iterable[AnySE]) -> None:
+        """Drop every observation (and request) at the given points.
+
+        Shard workers use this to strip the points they are not
+        responsible for (broadcast-replicated inputs, reject links the
+        parent re-observes from merged tables) before shipping their tap
+        set back, so the parent-side merge stays purely additive.
+        """
+        drop = set(ses)
+        if not drop:
+            return
+        kept = StatisticsStore()
+        for stat, value in self.store.items():
+            if stat.se not in drop:
+                kept.put(stat, value)
+        self.store = kept
+        for se in drop:
+            self._by_se.pop(se, None)
+        self._distinct_values = {
+            stat: acc
+            for stat, acc in self._distinct_values.items()
+            if stat.se not in drop
+        }
 
     def missing(self) -> list[Statistic]:
         """Requested statistics that no observation reached (plan bug)."""

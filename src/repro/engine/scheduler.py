@@ -130,8 +130,10 @@ class RunFailure:
 
     ``kind`` is ``"permanent"`` (non-retryable error), ``"transient"``
     (retryable but the retry budget ran out), ``"timeout"`` (the final
-    attempt hit the deadline) or ``"skipped"`` (a requirement's producer
-    failed, listed in ``missing``).
+    attempt hit the deadline), ``"skipped"`` (a requirement's producer
+    failed, listed in ``missing``) or ``"pool-exhausted"`` (the worker
+    pool refused the task -- it was shut down, typically because the
+    process is tearing down mid-run).
     """
 
     task: str
@@ -458,12 +460,32 @@ class ParallelScheduler:
                 for task in list(pending):
                     if all(r in done for r in task.requires):
                         pending.remove(task)
-                        running[
-                            pool.submit(
+                        try:
+                            future = pool.submit(
                                 self._run_task, task, policy, tracer,
                                 trace_parent,
                             )
-                        ] = task
+                        except RuntimeError as exc:
+                            # the pool was shut down under us (interpreter
+                            # teardown, cancelled run): surface a structured
+                            # failure so dependents take the skip-cascade
+                            # path instead of a bare RuntimeError escaping
+                            if policy is None:
+                                raise SchedulerError(
+                                    f"worker pool rejected task "
+                                    f"{task.name!r}: {exc}"
+                                ) from exc
+                            result.failures[task.name] = RunFailure(
+                                task=task.name,
+                                kind="pool-exhausted",
+                                error=str(exc),
+                                error_type=type(exc).__name__,
+                                attempts=0,
+                                elapsed=0.0,
+                            )
+                            failed_provides[task.provides] = task.name
+                            continue
+                        running[future] = task
                 if not running:
                     if not pending:
                         break

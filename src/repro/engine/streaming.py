@@ -37,7 +37,11 @@ from repro.engine.backend import (
     RunContext,
     WorkflowRun,
 )
-from repro.engine.instrumentation import InstrumentationError
+from repro.engine.instrumentation import (
+    DistinctAccumulator,
+    InstrumentationError,
+    make_distinct_accumulator,
+)
 from repro.engine.table import Table, TableError
 
 __all__ = [
@@ -61,7 +65,7 @@ class StreamingTaps:
         self._by_se: dict[AnySE, list[Statistic]] = {}
         self._counters: dict[Statistic, int] = {}
         self._hists: dict[Statistic, dict] = {}
-        self._distinct: dict[Statistic, set] = {}
+        self._distinct: dict[Statistic, DistinctAccumulator] = {}
         self._streamed: set[AnySE] = set()
         for stat in stats:
             self.request(stat)
@@ -79,7 +83,7 @@ class StreamingTaps:
         elif stat.kind is StatKind.HISTOGRAM:
             self._hists[stat] = defaultdict(int)
         else:
-            self._distinct[stat] = set()
+            self._distinct[stat] = make_distinct_accumulator()
 
     # ------------------------------------------------------------------
     def wants(self, se: AnySE) -> bool:
@@ -166,8 +170,35 @@ class StreamingTaps:
                 store.put(stat, Histogram(stat.attrs, dict(buckets)))
         for stat, values in self._distinct.items():
             if stat.se in self._streamed:
-                store.put(stat, len(values))
+                store.put(stat, values.result())
         return store
+
+    def merge(self, other: "StreamingTaps") -> None:
+        """Fold another tap set's accumulators into this one.
+
+        The operands must have streamed **disjoint row shards** of the
+        same logical points; counters and histogram buckets add, distinct
+        values merge through the :class:`DistinctAccumulator` combiner,
+        and a point counts as streamed if either side streamed it.
+        """
+        for se, bucket in other._by_se.items():
+            mine = self._by_se.setdefault(se, [])
+            for stat in bucket:
+                if stat not in mine:
+                    mine.append(stat)
+        for stat, count in other._counters.items():
+            self._counters[stat] = self._counters.get(stat, 0) + count
+        for stat, buckets in other._hists.items():
+            mine_hist = self._hists.setdefault(stat, defaultdict(int))
+            for value, freq in buckets.items():
+                mine_hist[value] += freq
+        for stat, acc in other._distinct.items():
+            mine_acc = self._distinct.get(stat)
+            if mine_acc is None:
+                self._distinct[stat] = make_distinct_accumulator(acc.values)
+            else:
+                mine_acc.merge(acc)
+        self._streamed |= other._streamed
 
     @property
     def requested(self) -> list[Statistic]:

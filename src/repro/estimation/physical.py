@@ -96,6 +96,30 @@ BACKEND_COST_FACTORS: dict[str, dict[str, float]] = {
         "merge_factor": 0.4,
         "nested_factor": 0.12,
     },
+    # shard workers execute with the columnar kernel set; a small
+    # surcharge covers shard dispatch and observation merging
+    "multiprocess": {
+        "hash_build_factor": 1.6,
+        "sort_factor": 1.05,
+        "merge_factor": 1.05,
+        "nested_factor": 0.26,
+    },
+}
+
+#: constants the sharded (multiprocess) backend's dispatch planner uses to
+#: pick a per-block strategy.  A join input smaller than
+#: ``broadcast_max_rows`` is cheaper to replicate into every worker than to
+#: hash-partition (fork inheritance makes replication nearly free); above
+#: it, both join inputs are hash-partitioned on the join key.  The
+#: ``*_factor`` entries weigh the two strategies' per-row costs when the
+#: cap alone does not decide (see ``repro.engine.dist.sharding``), and
+#: ``min_shard_rows`` stops over-sharding tiny tables.
+DIST_COST_FACTORS: dict[str, float] = {
+    "broadcast_max_rows": 50_000.0,
+    "broadcast_build_factor": 1.5,  # per replicated build row, per shard
+    "partition_scan_factor": 1.0,  # per row hashed + routed to its shard
+    "merge_row_factor": 0.2,  # per output row folded back into the parent
+    "min_shard_rows": 64.0,
 }
 
 #: cost factors when the plan-compilation layer executes the block: fused
@@ -120,6 +144,14 @@ COMPILED_COST_FACTORS: dict[str, dict[str, float]] = {
         "hash_build_factor": 0.11,
         "sort_factor": 0.07,
         "merge_factor": 0.07,
+        "nested_factor": 0.02,
+    },
+    # workers compile per process against the columnar profile; the same
+    # dispatch/merge surcharge as the interpreted constants applies
+    "multiprocess": {
+        "hash_build_factor": 0.13,
+        "sort_factor": 0.09,
+        "merge_factor": 0.09,
         "nested_factor": 0.02,
     },
 }

@@ -111,6 +111,12 @@ class PipelineReport:
     def rows_quarantined(self) -> int:
         return self.run.rows_quarantined
 
+    # -- sharded execution (populated by the multiprocess backend) ----------
+    @property
+    def shard_stats(self) -> dict:
+        """Shard/task/retry counters from a sharded run (else empty)."""
+        return self.run.shard_stats
+
     @property
     def chosen_trees(self) -> dict[str, PlanTree]:
         return {name: plan.tree for name, plan in self.plans.items()}
@@ -205,6 +211,9 @@ class StatisticsPipeline:
     cpu_weight: float = 0.0
     backend: str = "columnar"  # any name get_backend() resolves
     workers: int = 1  # > 1 executes independent blocks concurrently
+    #: row shards per block for the multiprocess backend (None = that
+    #: backend's own default); ignored by single-process backends
+    shards: int | None = None
     #: plan compilation: True/False force it on/off, None defers to the
     #: process default (``REPRO_COMPILE``, on unless disabled)
     compile: bool | None = None
@@ -216,12 +225,39 @@ class StatisticsPipeline:
     def __post_init__(self) -> None:
         if self.executor != "columnar" and self.backend == "columnar":
             self.backend = self.executor
+        if self.shards is not None and self.backend != "multiprocess":
+            # asking for row shards selects the sharded backend (keeps the
+            # cost-model constants and metric labels consistent)
+            self.backend = "multiprocess"
         self.analysis = analyze(self.workflow)
         self.catalog = generate_css(self.analysis, self.generator_options)
         self._se_sizes: dict = {}
         # shared across run_once calls: warm cycles skip plan lowering,
         # and plan changes/schema drift key/evict entries as needed
         self.plan_cache = PlanCache()
+        # the multiprocess backend is held across cycles so its worker
+        # pool (and the per-process compiled-plan caches) stay warm
+        self._backend_instance = None
+
+    def _make_backend(self):
+        """Resolve the configured backend; sharded backends are cached so
+        their worker pool survives across cycles."""
+        if self.backend == "multiprocess" or self.shards is not None:
+            if self._backend_instance is None:
+                from repro.engine.dist import MultiprocessBackend
+
+                kwargs = {}
+                if self.shards is not None:
+                    kwargs["shards"] = self.shards
+                self._backend_instance = MultiprocessBackend(**kwargs)
+            return self._backend_instance
+        return get_backend(self.backend)
+
+    def close(self) -> None:
+        """Release backend resources (the multiprocess worker pool)."""
+        backend, self._backend_instance = self._backend_instance, None
+        if backend is not None:
+            backend.close()
 
     # -- steps 4-5 ---------------------------------------------------------
     def cost_model(self) -> CostModel:
@@ -418,7 +454,7 @@ class StatisticsPipeline:
                 )
 
         t0 = clock()
-        backend = get_backend(self.backend)
+        backend = self._make_backend()
         taps = backend.make_taps(tapped)
         with tr.span("execution", backend=self.backend,
                      workers=self.workers) as exec_span:

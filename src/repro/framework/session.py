@@ -95,6 +95,7 @@ class EtlSession:
     _adopted_cards: dict | None = None
     backend: str | None = None  # override the pipeline's execution backend
     workers: int | None = None  # override the pipeline's scheduler width
+    shards: int | None = None  # override row shards (multiprocess backend)
     compile: bool | None = None  # override plan compilation (False = interpret)
     retry: RetryPolicy | None = None  # scheduler policy for every run
     faults: "FaultPlan | None" = None  # chaos sessions (tests/benchmarks)
@@ -114,6 +115,10 @@ class EtlSession:
             self.pipeline.backend = self.backend
         if self.workers is not None:
             self.pipeline.workers = self.workers
+        if self.shards is not None:
+            self.pipeline.shards = self.shards
+            if self.pipeline.backend != "multiprocess":
+                self.pipeline.backend = "multiprocess"
         if self.compile is not None:
             self.pipeline.compile = self.compile
 

@@ -34,6 +34,8 @@ def record_run_metrics(
     ``etl_plan_cost``, ``etl_selection_cost``.  Histograms:
     ``etl_phase_seconds`` (labelled by phase) and, when the report's
     trace carries estimated-vs-actual rows, ``etl_estimation_rel_error``.
+    A sharded run additionally exports the ``etl_shard_*`` series
+    (shard count, dispatched/retried tasks, merged rows, shm bytes).
     """
     labels = {}
     if workflow:
@@ -82,6 +84,29 @@ def record_run_metrics(
         amount = getattr(report, field_name, 0)
         if amount:
             registry.counter(metric, help_text).inc(amount, **labels)
+
+    # sharded execution (multiprocess backend): empty dict for the
+    # single-process backends, so these series only exist when sharding ran
+    shard_stats = getattr(report, "shard_stats", None)
+    if shard_stats:
+        registry.gauge(
+            "etl_shard_count", "row shards per block in the last sharded run"
+        ).set(shard_stats.get("shards", 0), **labels)
+        registry.gauge(
+            "etl_shard_shm_bytes",
+            "shared-memory bytes shipped to workers in the last run",
+        ).set(shard_stats.get("shm_bytes", 0), **labels)
+        for field_name, metric, help_text in (
+            ("tasks", "etl_shard_tasks_total",
+             "shard tasks dispatched to worker processes"),
+            ("retries", "etl_shard_retries_total",
+             "shard tasks re-dispatched after a worker died or hung"),
+            ("rows_out", "etl_shard_rows_total",
+             "block output rows merged back from shard workers"),
+        ):
+            amount = shard_stats.get(field_name, 0)
+            if amount:
+                registry.counter(metric, help_text).inc(amount, **labels)
 
     registry.gauge(
         "etl_plan_cost", "total estimated cost of the chosen plans"

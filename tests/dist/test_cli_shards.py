@@ -1,0 +1,56 @@
+"""CLI validation for ``repro-etl run --shards``."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestShardsValidation:
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_non_positive_shards_exit_one_line(self, bad, capsys):
+        assert main(["run", "--number", "21", "--shards", bad]) == 1
+        err = capsys.readouterr().err.strip()
+        assert err.splitlines() == [
+            f"error: --shards must be a positive integer, got {bad}"
+        ]
+
+    def test_absurd_shards_exit_one_line(self, capsys):
+        cap = (os.cpu_count() or 1) * 8
+        assert main(["run", "--number", "21", "--shards", str(cap + 1)]) == 1
+        err = capsys.readouterr().err.strip()
+        assert len(err.splitlines()) == 1
+        assert err.startswith(f"error: --shards {cap + 1} exceeds {cap}")
+
+    def test_cap_itself_is_accepted_by_validation(self, capsys):
+        # the boundary value passes validation (the run may still be slow,
+        # so keep it tiny) and the banner reports the effective sharding
+        assert (
+            main(
+                [
+                    "run", "--number", "21", "--shards", "2",
+                    "--scale", "0.02", "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend=multiprocess" in out
+        assert "shards=2" in out
+
+
+@pytest.mark.dist
+class TestShardsExecution:
+    def test_run_with_shards_prints_targets(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "--number", "9", "--shards", "2",
+                    "--scale", "0.05",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "target" in out

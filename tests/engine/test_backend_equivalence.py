@@ -26,15 +26,34 @@ from repro.workloads import suite
 
 #: (backend, scheduler width) variants checked against the serial columnar
 #: reference -- covering the vectorized kernels, the per-tuple streaming
-#: engine, and the parallel scheduler on both materializing backends
+#: engine, the parallel scheduler on both materializing backends, and the
+#: sharded multiprocess backend (where the second element is the shard
+#: count; ``inline`` keeps this suite fork-free, the pool path is pinned
+#: by tests/dist)
 VARIANTS = [
     ("vectorized", 1),
     ("vectorized", 4),
     ("streaming", 2),
     ("columnar", 4),
+    ("multiprocess", 2),
+    ("multiprocess", 4),
 ]
 
 SCALE, SEED = 0.06, 23
+
+
+def _variant_backend(backend_name: str, workers: int):
+    """``(backend instance, scheduler width)`` for one variant row."""
+    if backend_name == "multiprocess":
+        from repro.engine.dist import MultiprocessBackend
+
+        backend = MultiprocessBackend(
+            shards=workers,
+            inline=True,
+            factors={"min_shard_rows": 0},  # tiny test tables still shard
+        )
+        return backend, 1
+    return get_backend(backend_name), workers
 
 
 @pytest.fixture(scope="module")
@@ -67,7 +86,7 @@ def reference():
 @pytest.mark.parametrize("case", suite(), ids=lambda c: f"wf{c.number:02d}")
 def test_backend_matches_columnar(case, backend_name, workers, reference):
     analysis, selection, sources, ref = reference(case)
-    backend = get_backend(backend_name)
+    backend, workers = _variant_backend(backend_name, workers)
     run = BackendExecutor(analysis, backend, workers=workers).run(
         sources, taps=backend.make_taps(selection.observed)
     )

@@ -108,3 +108,49 @@ class TestParallelScheduler:
         ]
         ParallelScheduler(2).execute(tasks, available=["s"])
         assert started_x.is_set() and started_y.is_set()
+
+
+class TestPoolExhaustion:
+    """A shut-down worker pool surfaces as a structured RunFailure."""
+
+    def _exhausted_pool(self, monkeypatch, reject_name):
+        """Patch the scheduler's pool so submitting one task fails."""
+        import repro.engine.scheduler as scheduler_module
+        from concurrent.futures import ThreadPoolExecutor
+
+        class FlakyPool(ThreadPoolExecutor):
+            def submit(self, fn, task, *args, **kwargs):
+                if getattr(task, "name", None) == reject_name:
+                    raise RuntimeError(
+                        "cannot schedule new futures after shutdown"
+                    )
+                return super().submit(fn, task, *args, **kwargs)
+
+        monkeypatch.setattr(
+            scheduler_module, "ThreadPoolExecutor", FlakyPool
+        )
+
+    def test_structured_failure_with_policy(self, monkeypatch):
+        from repro.engine.scheduler import RetryPolicy
+
+        self._exhausted_pool(monkeypatch, "b")
+        log, lock = [], threading.Lock()
+        result = ParallelScheduler(2).execute(
+            diamond(log, lock),
+            available=["s"],
+            policy=RetryPolicy(),
+        )
+        failure = result.failures["b"]
+        assert failure.kind == "pool-exhausted"
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 0
+        # b's dependent is skipped, the healthy branch still ran
+        assert result.failures["d"].kind == "skipped"
+        assert "b" in result.failures["d"].missing
+        assert sorted(log) == ["a", "c"]
+
+    def test_raises_without_policy(self, monkeypatch):
+        self._exhausted_pool(monkeypatch, "b")
+        log, lock = [], threading.Lock()
+        with pytest.raises(SchedulerError, match="rejected task 'b'"):
+            ParallelScheduler(2).execute(diamond(log, lock), available=["s"])

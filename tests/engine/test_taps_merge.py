@@ -1,0 +1,227 @@
+"""Merge round-trips for every tap observation type (sharded execution).
+
+The mergeable-observation protocol promises that observing k disjoint row
+shards and folding the shard tap sets together is *exactly* equivalent to
+observing the whole table once.  These tests split random tables into
+random shards, merge, and assert bit-for-bit equality of the collected
+statistics -- the property the multiprocess backend's correctness rests on.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.expressions import SubExpression
+from repro.core.statistics import Statistic
+from repro.engine.instrumentation import (
+    DistinctAccumulator,
+    InstrumentationError,
+    TapSet,
+    make_distinct_accumulator,
+)
+from repro.engine.streaming import StreamingTaps
+from repro.engine.table import Table
+
+SE = SubExpression.of
+
+
+def _random_table(rng: random.Random, rows: int) -> Table:
+    return Table(
+        {
+            "a": [rng.randrange(8) for _ in range(rows)],
+            "b": [rng.choice("xyz") for _ in range(rows)],
+            "c": [float(rng.randrange(4)) for _ in range(rows)],
+        }
+    )
+
+
+def _random_shards(rng: random.Random, table: Table, k: int) -> list[Table]:
+    """Split ``table`` into k contiguous shards at random cut points."""
+    cuts = sorted(rng.randrange(table.num_rows + 1) for _ in range(k - 1))
+    bounds = [0, *cuts, table.num_rows]
+    return [
+        table.take(range(lo, hi))
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+def _stats() -> list[Statistic]:
+    return [
+        Statistic.card(SE("T")),
+        Statistic.hist(SE("T"), "a"),
+        Statistic.hist(SE("T"), "a", "b"),
+        Statistic.distinct(SE("T"), "b"),
+        Statistic.distinct(SE("T"), "a", "c"),
+    ]
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("k", [2, 3, 7])
+class TestTapSetMergeRoundTrip:
+    def test_sharded_merge_equals_unsharded(self, seed, k):
+        rng = random.Random(seed)
+        table = _random_table(rng, rows=rng.randrange(1, 120))
+        stats = _stats()
+
+        whole = TapSet(stats, mergeable=True)
+        whole.observe(SE("T"), table)
+
+        shards = [TapSet(stats, mergeable=True) for _ in range(k)]
+        for taps, piece in zip(shards, _random_shards(rng, table, k)):
+            taps.observe(SE("T"), piece)
+        merged, *rest = shards
+        for taps in rest:
+            merged.merge(taps)
+
+        for stat in stats:
+            assert merged.store.get(stat) == whole.store.get(stat), stat
+        assert merged.missing() == []
+
+    def test_column_batch_observation_merges_identically(self, seed, k):
+        rng = random.Random(seed * 31 + 1)
+        table = _random_table(rng, rows=rng.randrange(1, 80))
+        stats = _stats()
+
+        whole = TapSet(stats, mergeable=True)
+        whole.observe(SE("T"), table)
+
+        shards = [TapSet(stats, mergeable=True) for _ in range(k)]
+        for taps, piece in zip(shards, _random_shards(rng, table, k)):
+            taps.observe_columns(
+                SE("T"),
+                piece.num_rows,
+                {a: list(piece.column(a)) for a in piece.attrs},
+            )
+        merged, *rest = shards
+        for taps in rest:
+            merged.merge(taps)
+
+        for stat in stats:
+            assert merged.store.get(stat) == whole.store.get(stat), stat
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("k", [2, 3, 7])
+class TestStreamingTapsMergeRoundTrip:
+    def test_sharded_merge_equals_unsharded(self, seed, k):
+        rng = random.Random(seed * 17 + 3)
+        table = _random_table(rng, rows=rng.randrange(1, 120))
+        stats = _stats()
+
+        whole = StreamingTaps(stats)
+        whole.mark_streamed(SE("T"))
+        for row in table.rows():
+            whole.observe_row(SE("T"), dict(zip(table.attrs, row)))
+
+        shards = [StreamingTaps(stats) for _ in range(k)]
+        for taps, piece in zip(shards, _random_shards(rng, table, k)):
+            taps.mark_streamed(SE("T"))
+            for row in piece.rows():
+                taps.observe_row(SE("T"), dict(zip(piece.attrs, row)))
+        merged, *rest = shards
+        for taps in rest:
+            merged.merge(taps)
+
+        reference, folded = whole.collect(), merged.collect()
+        for stat in stats:
+            assert folded.get(stat) == reference.get(stat), stat
+
+    def test_streamed_flag_survives_merge(self, seed, k):
+        # "streamed but empty" must merge to zero, never to missing
+        stats = [Statistic.card(SE("T"))]
+        shards = [StreamingTaps(stats) for _ in range(k)]
+        shards[seed % k].mark_streamed(SE("T"))
+        merged, *rest = shards
+        for taps in rest:
+            merged.merge(taps)
+        assert merged.collect().get(stats[0]) == 0
+
+
+class TestDistinctAccumulator:
+    def test_merge_is_set_union(self):
+        left = make_distinct_accumulator([(1,), (2,)])
+        right = make_distinct_accumulator([(2,), (3,)])
+        left.merge(right)
+        assert left.result() == 3
+        assert left == DistinctAccumulator([(1,), (2,), (3,)])
+
+    def test_random_partition_round_trip(self):
+        rng = random.Random(99)
+        values = [(rng.randrange(20), rng.choice("pq")) for _ in range(200)]
+        whole = make_distinct_accumulator(values)
+        parts = [make_distinct_accumulator() for _ in range(4)]
+        for value in values:
+            parts[rng.randrange(4)].add(value)
+        base, *rest = parts
+        for part in rest:
+            base.merge(part)
+        assert base.result() == whole.result()
+        assert base == whole
+
+
+class TestMergeProtocolEdges:
+    def test_non_mergeable_operand_rejected(self):
+        mergeable = TapSet([Statistic.card(SE("T"))], mergeable=True)
+        plain = TapSet([Statistic.card(SE("T"))])
+        with pytest.raises(InstrumentationError, match="mergeable=True"):
+            mergeable.merge(plain)
+        with pytest.raises(InstrumentationError, match="mergeable=True"):
+            plain.merge(mergeable)
+
+    def test_mergeable_distinct_counts_stay_exact_across_observes(self):
+        # the accumulator (not the last batch) backs the stored count
+        stat = Statistic.distinct(SE("T"), "a")
+        taps = TapSet([stat], mergeable=True)
+        taps.observe(SE("T"), Table({"a": [1, 2]}))
+        taps.observe(SE("T"), Table({"a": [2, 3]}))
+        assert taps.store.get(stat) == 3
+
+    def test_discard_points_drops_observations_and_requests(self):
+        card_t = Statistic.card(SE("T"))
+        dist_t = Statistic.distinct(SE("T"), "a")
+        card_r = Statistic.card(SE("R"))
+        taps = TapSet([card_t, dist_t, card_r], mergeable=True)
+        taps.observe(SE("T"), Table({"a": [1, 2]}))
+        taps.observe(SE("R"), Table({"a": [5]}))
+        taps.discard_points([SE("T")])
+        assert not taps.wants(SE("T"))
+        assert card_t not in taps.store and dist_t not in taps.store
+        assert taps.store.get(card_r) == 1
+        # a discarded point no longer counts as missing either
+        assert taps.missing() == []
+
+    def test_merge_after_discard_is_purely_additive(self):
+        stat = Statistic.card(SE("T"))
+        other_stat = Statistic.card(SE("R"))
+        base = TapSet([stat, other_stat], mergeable=True)
+        base.observe(SE("T"), Table({"a": [1, 2]}))
+        base.observe(SE("R"), Table({"a": [7]}))
+        shard = TapSet([stat, other_stat], mergeable=True)
+        shard.observe(SE("T"), Table({"a": [3]}))
+        shard.observe(SE("R"), Table({"a": [7]}))  # replicated input
+        shard.discard_points([SE("R")])  # shard>0 drops replicated points
+        base.merge(shard)
+        assert base.store.get(stat) == 3
+        assert base.store.get(other_stat) == 1
+
+    def test_distinct_merge_without_accumulator_rejected(self):
+        stat = Statistic.distinct(SE("T"), "a")
+        left = TapSet([stat], mergeable=True)
+        right = TapSet([stat], mergeable=True)
+        # forge a distinct observation with no accumulator behind it
+        right.store.put(stat, 2)
+        with pytest.raises(InstrumentationError, match="accumulator"):
+            left.merge(right)
+
+    def test_histograms_merge_by_bucket_addition(self):
+        stat = Statistic.hist(SE("T"), "a")
+        left = TapSet([stat], mergeable=True)
+        right = TapSet([stat], mergeable=True)
+        left.observe(SE("T"), Table({"a": [1, 1, 2]}))
+        right.observe(SE("T"), Table({"a": [2, 3]}))
+        left.merge(right)
+        merged = left.store.get(stat)
+        assert merged.frequency(1) == 2
+        assert merged.frequency(2) == 2
+        assert merged.frequency(3) == 1
+        assert merged.total() == 5

@@ -29,15 +29,34 @@ pytestmark = pytest.mark.property
 BASE_SEED = int(os.environ.get("REPRO_PROPERTY_SEED", "0"))
 SEEDS = [BASE_SEED * 1000 + i for i in range(12)]
 
-#: every non-reference variant: both materializing backends and the
-#: streaming engine, serial and under the 4-wide parallel scheduler
+#: every non-reference variant: both materializing backends, the
+#: streaming engine (serial and under the 4-wide parallel scheduler),
+#: and the sharded multiprocess backend at 1/2/4 shards (the second
+#: element is the shard count for multiprocess rows)
 VARIANTS = [
     ("columnar", 4),
     ("streaming", 1),
     ("streaming", 4),
     ("vectorized", 1),
     ("vectorized", 4),
+    ("multiprocess", 1),
+    ("multiprocess", 2),
+    ("multiprocess", 4),
 ]
+
+
+def _variant_backend(backend_name: str, workers: int):
+    """``(backend instance, scheduler width)`` for one variant row."""
+    if backend_name == "multiprocess":
+        from repro.engine.dist import MultiprocessBackend
+
+        backend = MultiprocessBackend(
+            shards=workers,
+            inline=True,  # fork-free here; the pool path is pinned in tests/dist
+            factors={"min_shard_rows": 0},
+        )
+        return backend, 1
+    return get_backend(backend_name), workers
 
 
 @pytest.fixture(scope="module")
@@ -67,7 +86,7 @@ def reference():
 @pytest.mark.parametrize("seed", SEEDS)
 def test_backends_agree_on_random_workflow(seed, backend_name, workers, reference):
     analysis, selection, tables, ref = reference(seed)
-    backend = get_backend(backend_name)
+    backend, workers = _variant_backend(backend_name, workers)
     run = BackendExecutor(analysis, backend, workers=workers).run(
         tables, taps=backend.make_taps(selection.observed)
     )

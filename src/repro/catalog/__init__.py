@@ -11,13 +11,21 @@ fleet-wide, incrementally maintained asset:
   entries, drifted entries are penalized and marked stale so only they
   get re-observed;
 - :mod:`repro.catalog.fleet` — one combined nightly observation plan for
-  a whole suite of workflows, observing each shared statistic once.
+  a whole suite of workflows, observing each shared statistic once;
+- :mod:`repro.catalog.feedback` — the adaptive corrector: per-operator
+  estimation errors correct drifted cardinality entries in place and
+  re-rank what the fleet observes next.
 """
 
 from repro.catalog.drift import (
     DEFAULT_DRIFT_THRESHOLD,
     DriftReport,
     reconcile_run,
+)
+from repro.catalog.feedback import (
+    DEFAULT_CORRECTION_THRESHOLD,
+    FeedbackCorrector,
+    FeedbackReport,
 )
 from repro.catalog.fleet import FleetPlan, WorkflowObservationPlan, plan_fleet
 from repro.catalog.signatures import SignatureError, WorkflowSigner
@@ -30,12 +38,15 @@ from repro.catalog.store import (
 )
 
 __all__ = [
+    "DEFAULT_CORRECTION_THRESHOLD",
     "DEFAULT_DRIFT_THRESHOLD",
     "DEFAULT_MIN_QUALITY",
     "DEFAULT_TTL",
     "CatalogEntry",
     "CatalogHits",
     "DriftReport",
+    "FeedbackCorrector",
+    "FeedbackReport",
     "FleetPlan",
     "SignatureError",
     "StatisticsCatalog",

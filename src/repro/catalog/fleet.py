@@ -96,6 +96,7 @@ def plan_fleet(
     solver: str = "greedy",
     generator_options: GeneratorOptions | None = None,
     now: float | None = None,
+    feedback=None,
 ) -> FleetPlan:
     """Compute the combined nightly observation plan.
 
@@ -104,10 +105,21 @@ def plan_fleet(
     statistics, later ones reuse them for free).  ``catalog``, when given,
     contributes its usable entries as zero-cost statistics for *every*
     workflow — pre-existing knowledge nobody needs to observe tonight.
+
+    ``feedback`` (a :class:`~repro.catalog.feedback.FeedbackCorrector`)
+    re-ranks the plan from the estimation-error stream: statistics it
+    flags via ``should_reobserve`` are withdrawn from the zero-cost
+    catalog offer (their cached values misled the optimizer, so tonight
+    re-observes them), and each workflow's ``observe`` list is ordered
+    by ``priority`` so persistently misestimated statistics come first.
     """
     options = generator_options or GeneratorOptions()
     solve = solve_greedy if solver == "greedy" else solve_ilp
     catalog_keys = catalog.usable_keys(now) if catalog is not None else set()
+    if feedback is not None:
+        catalog_keys = {
+            key for key in catalog_keys if not feedback.should_reobserve(key)
+        }
 
     #: signature -> workflow name that will observe it tonight
     claimed: dict[str, str] = {}
@@ -153,6 +165,13 @@ def plan_fleet(
             ]
             if key is not None:
                 claimed[key] = workflow.name
+
+        if feedback is not None and observe:
+            # stable sort: misestimated statistics first, untouched
+            # solver order otherwise
+            observe.sort(
+                key=lambda stat: -feedback.priority(keys.get(stat))
+            )
 
         fleet.workflows.append(
             WorkflowObservationPlan(

@@ -228,6 +228,19 @@ def _cmd_run(args) -> int:
                 f"(8 x the {os.cpu_count() or 1} available CPUs); "
                 "that many row shards would only add merge overhead"
             )
+    if args.sketch_precision is not None:
+        from repro.estimation.sketches import MAX_PRECISION, MIN_PRECISION
+
+        if args.distinct_sketch != "hll":
+            raise CliError(
+                "--sketch-precision only applies with --distinct-sketch hll"
+            )
+        if not MIN_PRECISION <= args.sketch_precision <= MAX_PRECISION:
+            raise CliError(
+                f"--sketch-precision must be in "
+                f"[{MIN_PRECISION}, {MAX_PRECISION}], "
+                f"got {args.sketch_precision}"
+            )
     pipeline = StatisticsPipeline(
         workflow,
         solver=args.solver,
@@ -235,6 +248,8 @@ def _cmd_run(args) -> int:
         workers=args.workers,
         shards=args.shards,
         compile=False if args.no_compile else None,
+        distinct_sketch=args.distinct_sketch,
+        sketch_precision=args.sketch_precision,
     )
 
     faults = FaultPlan.from_file(args.faults) if args.faults else None
@@ -322,9 +337,15 @@ def _cmd_run(args) -> int:
     )
     total_in = sum(t.num_rows for t in sources.values())
     sharded = f" shards={pipeline.shards}" if pipeline.shards else ""
+    sketched = (
+        f" sketch=hll(p={pipeline.sketch_spec.precision})"
+        if pipeline.sketch_spec.mode == "hll"
+        else ""
+    )
     print(
         f"wf{wfcase.number:02d} {wfcase.name} on backend={pipeline.backend} "
-        f"workers={args.workers}{sharded} ({total_in} source rows)"
+        f"workers={args.workers}{sharded}{sketched} "
+        f"({total_in} source rows)"
     )
     for name in sorted(report.run.targets):
         print(f"  target {name}: {report.run.targets[name].num_rows} rows")
@@ -674,6 +695,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="parallel block-scheduler width (1 = serial)",
+    )
+    p.add_argument(
+        "--distinct-sketch",
+        choices=("exact", "hll"),
+        default="exact",
+        help="distinct-tap implementation: exact value sets (default) or "
+        "mergeable HyperLogLog sketches",
+    )
+    p.add_argument(
+        "--sketch-precision",
+        type=int,
+        default=None,
+        help="HLL precision p (2^p one-byte registers); requires "
+        "--distinct-sketch hll",
     )
     p.add_argument(
         "--shards",

@@ -45,6 +45,11 @@ class CostModel:
     cpu_weight: float = 0.0
     default_domain: int = 1024
     default_se_size: float = 1000.0
+    #: when distinct taps run as HLL sketches, a distinct count never
+    #: holds more than one byte per register -- its memory cost is capped
+    #: at the register count (``2^precision``) instead of the domain
+    #: product.  ``None`` keeps the exact-tracking table.
+    distinct_sketch_units: float | None = None
 
     def domain_size(self, attr: str) -> int:
         try:
@@ -73,6 +78,11 @@ class CostModel:
         bound = self._size_bound(stat.se)
         if bound is not None:
             units = min(units, max(bound, 1.0))
+        if (
+            stat.kind is StatKind.DISTINCT
+            and self.distinct_sketch_units is not None
+        ):
+            units = min(units, self.distinct_sketch_units)
         return units
 
     def _size_bound(self, se: AnySE) -> float | None:

@@ -60,6 +60,7 @@ from repro.engine.faults import TransientFault
 from repro.engine.instrumentation import TapSet
 from repro.engine.table import Table
 from repro.estimation.physical import DIST_COST_FACTORS
+from repro.estimation.sketches import active_sketch_spec
 
 
 class ShardExecutionError(RuntimeError):
@@ -312,6 +313,10 @@ class MultiprocessBackend(ExecutionBackend):
             "plan": plan,
             "shard": shard,
             "overrides": overrides,
+            # the parent's sketch configuration rides along so a warm
+            # pool (forked under an older spec) builds its mergeable
+            # distinct accumulators exactly like the parent expects
+            "sketch": active_sketch_spec(),
             "context_tokens": self._context_tokens,
             "invalidate_sources": tuple(
                 sorted({e.source for e in ctx.run.schema_drift})
@@ -436,6 +441,8 @@ class MultiprocessBackend(ExecutionBackend):
     ) -> Table:
         ordered = [results[shard] for shard in range(plan.shards)]
 
+        # measured before folding: what the shards actually shipped
+        sketch_bytes = sum(r.taps.distinct_bytes() for r in ordered)
         merged = ordered[0].taps
         for result in ordered[1:]:
             merged.merge(result.taps)
@@ -472,7 +479,9 @@ class MultiprocessBackend(ExecutionBackend):
             else Table.empty(ordered[0].output_attrs)
         )
 
-        self._record_shard_stats(block, plan, ordered, retries, ctx, out.num_rows)
+        self._record_shard_stats(
+            block, plan, ordered, retries, ctx, out.num_rows, sketch_bytes
+        )
         return out
 
     def _merge_rejects(
@@ -515,6 +524,7 @@ class MultiprocessBackend(ExecutionBackend):
         retries: int,
         ctx: RunContext,
         rows_out: int,
+        sketch_bytes: int = 0,
     ) -> None:
         shm_bytes = sum(ref.size for _t, ref, _s in self._segments)
         with ctx.lock:
@@ -524,6 +534,7 @@ class MultiprocessBackend(ExecutionBackend):
             stats["tasks"] = stats.get("tasks", 0) + len(ordered)
             stats["retries"] = stats.get("retries", 0) + retries
             stats["rows_out"] = stats.get("rows_out", 0) + rows_out
+            stats["sketch_bytes"] = stats.get("sketch_bytes", 0) + sketch_bytes
             stats["shm_bytes"] = shm_bytes
             key = f"strategy_{plan.strategy}"
             stats[key] = stats.get(key, 0) + 1

@@ -215,6 +215,13 @@ def run_shard(payload: dict, state: "WorkerState | None" = None) -> ShardResult:
     state = state if state is not None else _STATE
     if state is None:
         raise ShardError("worker has no fork state; pool started incorrectly")
+    spec = payload.get("sketch")
+    if spec is not None:
+        # follow the parent's distinct-accumulator configuration even on
+        # a warm pool forked under a different spec
+        from repro.estimation.sketches import configure_sketches
+
+        configure_sketches(spec)
     _begin_task(payload)
     _maybe_fault(payload.get("fault"))
     block = _block_named(state.analysis, payload["block"])

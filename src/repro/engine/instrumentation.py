@@ -20,6 +20,7 @@ ones to produce.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable
 
 from repro.algebra.expressions import AnySE, RejectJoinSE, RejectSE
@@ -38,10 +39,12 @@ class DistinctAccumulator:
     Counts and histogram buckets merge additively across disjoint row
     shards, but a distinct count does not: merging needs the underlying
     value sets (or a mergeable sketch of them).  This class is that seam.
-    Today it keeps the exact value set; an HLL / stratified sketch (the
-    ROADMAP sketch item) drops in by re-implementing the same four-method
-    interface -- ``add`` / ``update`` / ``merge`` / ``result`` -- without
-    touching any tap or backend code.
+    This is the exact implementation of the four-method accumulator
+    interface -- ``add`` / ``update`` / ``merge`` / ``result`` -- whose
+    sketch counterpart is :class:`~repro.estimation.sketches.HllSketch`;
+    :func:`make_distinct_accumulator` picks between them from the active
+    :class:`~repro.estimation.sketches.SketchSpec` without touching any
+    tap or backend code.
     """
 
     __slots__ = ("values",)
@@ -57,11 +60,24 @@ class DistinctAccumulator:
 
     def merge(self, other: "DistinctAccumulator") -> None:
         """Fold another shard's accumulator into this one (set union)."""
+        if not isinstance(other, DistinctAccumulator):
+            raise InstrumentationError(
+                f"cannot merge a {type(other).__name__} into a "
+                "DistinctAccumulator: mixed distinct-accumulator "
+                "implementations would silently corrupt the count (was "
+                "one tap set built under a different sketch_scope?)"
+            )
         self.values |= other.values
 
     def result(self) -> int:
         """The distinct count over everything accumulated so far."""
         return len(self.values)
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the retained value set."""
+        return sys.getsizeof(self.values) + sum(
+            sys.getsizeof(value) for value in self.values
+        )
 
     def __len__(self) -> int:
         return len(self.values)
@@ -72,12 +88,22 @@ class DistinctAccumulator:
         return self.values == other.values
 
 
-def make_distinct_accumulator(values: Iterable[tuple] = ()) -> DistinctAccumulator:
-    """Factory for the distinct combiner the mergeable taps use.
+def make_distinct_accumulator(values: Iterable[tuple] = ()):
+    """Factory for the distinct combiner every tap implementation uses.
 
-    Swap the returned implementation here (e.g. for an HLL sketch) and
-    every sharded merge path picks it up.
+    This is the single seam behind all five backends' distinct taps:
+    under the default spec it returns the exact
+    :class:`DistinctAccumulator`; inside a ``mode="hll"``
+    :func:`~repro.estimation.sketches.sketch_scope` it returns a
+    mergeable :class:`~repro.estimation.sketches.HllSketch`, so shard
+    merges become register-max instead of set union and shipped
+    observation state drops from O(distinct values) to O(2^p).
     """
+    from repro.estimation.sketches import active_sketch_spec, make_sketch
+
+    spec = active_sketch_spec()
+    if spec.mode == "hll":
+        return make_sketch(spec, values)
     return DistinctAccumulator(values)
 
 
@@ -98,7 +124,11 @@ class TapSet:
         #: just the counts) so disjoint row shards can be folded together
         #: with :meth:`merge`; plain tap sets skip that memory cost
         self.mergeable = mergeable
-        self._distinct_values: dict[Statistic, DistinctAccumulator] = {}
+        #: stat -> accumulator (exact set or HLL sketch, per the factory)
+        self._distinct_values: dict[Statistic, object] = {}
+        #: stat -> bytes of the last transient accumulator a non-mergeable
+        #: observe built (replace semantics, mirrors the stored count)
+        self._sketch_bytes: dict[Statistic, int] = {}
         for stat in stats:
             self.request(stat)
 
@@ -143,7 +173,12 @@ class TapSet:
                 acc.update(table.rows(stat.attrs))
                 self.store.put(stat, acc.result())
             else:
-                self.store.put(stat, table.distinct_count(stat.attrs))
+                # non-mergeable taps replace: a fresh factory accumulator
+                # per call keeps replace semantics while still flowing
+                # through the exact/sketch seam
+                acc = make_distinct_accumulator(table.rows(stat.attrs))
+                self._sketch_bytes[stat] = acc.size_bytes()
+                self.store.put(stat, acc.result())
 
     def value_attrs(self, se: AnySE) -> tuple[str, ...]:
         """Attributes whose *values* (not just counts) are tapped at ``se``.
@@ -190,7 +225,9 @@ class TapSet:
                 acc.update(rows)
                 self.store.put(stat, acc.result())
             else:
-                self.store.put(stat, len(set(rows)))
+                acc = make_distinct_accumulator(rows)
+                self._sketch_bytes[stat] = acc.size_bytes()
+                self.store.put(stat, acc.result())
 
     # ------------------------------------------------------------------
     # mergeable-observation protocol (sharded execution)
@@ -262,6 +299,28 @@ class TapSet:
             for stat, acc in self._distinct_values.items()
             if stat.se not in drop
         }
+        self._sketch_bytes = {
+            stat: n
+            for stat, n in self._sketch_bytes.items()
+            if stat.se not in drop
+        }
+
+    def distinct_bytes(self) -> int:
+        """Bytes of distinct-accumulator state behind this tap set.
+
+        Mergeable tap sets report their retained accumulators (what a
+        shard actually ships to the parent); plain tap sets report the
+        footprint of the last transient accumulator per statistic.  The
+        ``etl_sketch_bytes`` gauge and the sketch-ablation bench read
+        this to compare exact sets against HLL registers.
+        """
+        total = sum(
+            acc.size_bytes() for acc in self._distinct_values.values()
+        )
+        for stat, n in self._sketch_bytes.items():
+            if stat not in self._distinct_values:
+                total += n
+        return total
 
     def missing(self) -> list[Statistic]:
         """Requested statistics that no observation reached (plan bug)."""

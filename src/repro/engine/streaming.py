@@ -38,7 +38,6 @@ from repro.engine.backend import (
     WorkflowRun,
 )
 from repro.engine.instrumentation import (
-    DistinctAccumulator,
     InstrumentationError,
     make_distinct_accumulator,
 )
@@ -65,7 +64,8 @@ class StreamingTaps:
         self._by_se: dict[AnySE, list[Statistic]] = {}
         self._counters: dict[Statistic, int] = {}
         self._hists: dict[Statistic, dict] = {}
-        self._distinct: dict[Statistic, DistinctAccumulator] = {}
+        #: stat -> accumulator (exact set or HLL sketch, per the factory)
+        self._distinct: dict[Statistic, object] = {}
         self._streamed: set[AnySE] = set()
         for stat in stats:
             self.request(stat)
@@ -195,10 +195,16 @@ class StreamingTaps:
         for stat, acc in other._distinct.items():
             mine_acc = self._distinct.get(stat)
             if mine_acc is None:
-                self._distinct[stat] = make_distinct_accumulator(acc.values)
-            else:
-                mine_acc.merge(acc)
+                # a factory-fresh accumulator + merge (never a copy of the
+                # other side's internals): the factory decides exact vs
+                # sketch, and merge() rejects mixed implementations
+                mine_acc = self._distinct[stat] = make_distinct_accumulator()
+            mine_acc.merge(acc)
         self._streamed |= other._streamed
+
+    def distinct_bytes(self) -> int:
+        """Bytes of distinct-accumulator state held by these taps."""
+        return sum(acc.size_bytes() for acc in self._distinct.values())
 
     @property
     def requested(self) -> list[Statistic]:

@@ -86,6 +86,15 @@ class PipelineReport:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     plan_cache_invalidations: int = 0
+    #: distinct-tap implementation this cycle ran with ("exact" | "hll")
+    sketch_mode: str = "exact"
+    #: bytes of distinct-accumulator state the taps held (for a sharded
+    #: run: what the shard workers actually shipped to the parent)
+    sketch_bytes: int = 0
+    #: catalog cardinality entries the feedback corrector fixed in place
+    corrections: int = 0
+    #: FeedbackReport when run_once(feedback=...) was given
+    feedback: "object | None" = None
 
     @property
     def ok(self) -> bool:
@@ -159,6 +168,13 @@ class PipelineReport:
                 "catalog server unavailable: ran from the local view, "
                 "plan confidence demoted one rung"
             )
+        if self.sketch_mode != "exact":
+            lines.append(
+                f"distinct taps: {self.sketch_mode} sketches "
+                f"({self.sketch_bytes} accumulator byte(s))"
+            )
+        if self.feedback is not None and getattr(self.feedback, "observed", 0):
+            lines.append(self.feedback.describe())
         if self.drift is not None and getattr(self.drift, "touched", 0) + len(
             getattr(self.drift, "drifted", ())
         ):
@@ -217,6 +233,11 @@ class StatisticsPipeline:
     #: plan compilation: True/False force it on/off, None defers to the
     #: process default (``REPRO_COMPILE``, on unless disabled)
     compile: bool | None = None
+    #: distinct-tap implementation: "exact" (set union) or "hll"
+    #: (mergeable HyperLogLog sketches through the accumulator factory)
+    distinct_sketch: str = "exact"
+    #: HLL precision p (2^p registers); None = the sketch default
+    sketch_precision: int | None = None
     #: monotonic clock behind ``PipelineReport.timings`` (and the default
     #: span clock) -- injectable so tests assert exact, deterministic
     #: durations instead of sleeping
@@ -229,6 +250,13 @@ class StatisticsPipeline:
             # asking for row shards selects the sharded backend (keeps the
             # cost-model constants and metric labels consistent)
             self.backend = "multiprocess"
+        from repro.estimation.sketches import SketchSpec
+
+        kwargs = {"mode": self.distinct_sketch}
+        if self.sketch_precision is not None:
+            kwargs["precision"] = self.sketch_precision
+        # SketchError is a ValueError: a bad mode/precision fails fast here
+        self.sketch_spec = SketchSpec(**kwargs)
         self.analysis = analyze(self.workflow)
         self.catalog = generate_css(self.analysis, self.generator_options)
         self._se_sizes: dict = {}
@@ -266,6 +294,12 @@ class StatisticsPipeline:
             se_sizes=dict(self._se_sizes),
             memory_weight=self.memory_weight,
             cpu_weight=self.cpu_weight,
+            # a sketched distinct tap never exceeds its register count
+            distinct_sketch_units=(
+                float(self.sketch_spec.registers)
+                if self.sketch_spec.mode == "hll"
+                else None
+            ),
         )
 
     def select_statistics(self) -> SelectionResult:
@@ -295,6 +329,7 @@ class StatisticsPipeline:
         contracts=None,
         on_drift: str | None = None,
         quarantine=None,
+        feedback=None,
     ) -> PipelineReport:
         """One full observe-and-optimize cycle.
 
@@ -350,6 +385,14 @@ class StatisticsPipeline:
         rung demoted to prior-level trust.  ``quarantine`` (a
         :class:`~repro.quality.quarantine.QuarantineStore`) collects the
         dead letters across calls for later persistence.
+
+        ``feedback`` (a :class:`~repro.catalog.feedback
+        .FeedbackCorrector`) closes the adaptive loop: after the run it
+        consumes the estimated-vs-actual SE sizes (the same stream the
+        trace layer annotates as ``estimation_rel_error``), corrects
+        drifted catalog cardinality entries in place and remembers
+        per-statistic errors for fleet re-ranking.  Its report lands in
+        ``PipelineReport.feedback`` / ``corrections``.
         """
         from repro.obs.trace import as_tracer
 
@@ -442,7 +485,7 @@ class StatisticsPipeline:
         # the previous cycle's materialized sizes, overlaid with tonight's
         # catalog cardinalities (both are what the optimizer believed)
         estimates = None
-        if tracer is not None:
+        if tracer is not None or feedback is not None:
             estimates = dict(self._se_sizes)
             if hits is not None:
                 estimates.update(
@@ -454,36 +497,46 @@ class StatisticsPipeline:
                 )
 
         t0 = clock()
+        from repro.estimation.sketches import sketch_scope
+
         backend = self._make_backend()
-        taps = backend.make_taps(tapped)
-        with tr.span("execution", backend=self.backend,
-                     workers=self.workers) as exec_span:
-            run = BackendExecutor(
-                analysis,
-                backend,
-                workers=self.workers,
-                compile_plans=self.compile,
-                plan_cache=self.plan_cache,
-            ).run(
-                sources,
-                taps=taps,
-                faults=faults,
-                retry=retry,
-                checkpoint=checkpoint,
-                tracer=tracer,
-                trace_parent=exec_span if tracer is not None else None,
-                estimates=estimates,
-                quality=quality,
-            )
-            exec_span.annotate(
-                failures=len(run.failures), resumed=len(run.resumed)
-            )
-            if quality is not None:
-                exec_span.annotate(
-                    quarantined=run.rows_quarantined,
-                    schema_drift=len(run.schema_drift),
+        # the scope covers tap construction, execution and the parent-side
+        # shard merges, so every accumulator the cycle builds (including
+        # TapSet.merge's factory-fresh ones) follows the same spec
+        with sketch_scope(self.sketch_spec):
+            taps = backend.make_taps(tapped)
+            with tr.span("execution", backend=self.backend,
+                         workers=self.workers) as exec_span:
+                run = BackendExecutor(
+                    analysis,
+                    backend,
+                    workers=self.workers,
+                    compile_plans=self.compile,
+                    plan_cache=self.plan_cache,
+                ).run(
+                    sources,
+                    taps=taps,
+                    faults=faults,
+                    retry=retry,
+                    checkpoint=checkpoint,
+                    tracer=tracer,
+                    trace_parent=exec_span if tracer is not None else None,
+                    estimates=estimates,
+                    quality=quality,
                 )
+                exec_span.annotate(
+                    failures=len(run.failures), resumed=len(run.resumed)
+                )
+                if quality is not None:
+                    exec_span.annotate(
+                        quarantined=run.rows_quarantined,
+                        schema_drift=len(run.schema_drift),
+                    )
         timings["execution"] = clock() - t0
+        sketch_bytes = 0
+        if self.sketch_spec.mode != "exact":
+            sketch_bytes = getattr(taps, "distinct_bytes", lambda: 0)()
+            sketch_bytes += run.shard_stats.get("sketch_bytes", 0)
         self._se_sizes = dict(run.se_sizes)  # feeds next cycle's CPU costs
 
         drifted_sources = {event.source for event in run.schema_drift}
@@ -529,8 +582,6 @@ class StatisticsPipeline:
                     metrics=metrics,
                     **kwargs,
                 )
-                if stats_catalog.path is not None:
-                    stats_catalog.save()
                 rec_span.annotate(
                     added=len(drift.added),
                     refreshed=len(drift.refreshed),
@@ -540,6 +591,36 @@ class StatisticsPipeline:
                     schema_invalidated=drift_invalidated,
                 )
             timings["reconcile"] = clock() - t0
+
+        feedback_report = None
+        if feedback is not None:
+            if signer is None:
+                from repro.catalog.signatures import WorkflowSigner
+
+                signer = WorkflowSigner(analysis)
+            t0 = clock()
+            with tr.span("feedback") as fb_span:
+                feedback_report = feedback.observe_run(
+                    signer,
+                    estimates or {},
+                    run.se_sizes,
+                    workflow=analysis.workflow.name,
+                    run_id=run_id,
+                    backend=self.backend,
+                    metrics=metrics,
+                )
+                fb_span.annotate(
+                    observed=feedback_report.observed,
+                    corrected=len(feedback_report.corrected),
+                    flagged=len(feedback_report.flagged),
+                    mean_rel_error=feedback_report.mean_rel_error,
+                )
+            timings["feedback"] = clock() - t0
+
+        # saved after the corrector ran, so in-place corrections persist
+        # in the same night's write
+        if stats_catalog is not None and stats_catalog.path is not None:
+            stats_catalog.save()
 
         t0 = clock()
         opt_span = tr.start("optimization")
@@ -632,6 +713,14 @@ class StatisticsPipeline:
             plan_cache_misses=self.plan_cache.misses - cache_before[1],
             plan_cache_invalidations=self.plan_cache.invalidations
             - cache_before[2],
+            sketch_mode=self.sketch_spec.mode,
+            sketch_bytes=sketch_bytes,
+            corrections=(
+                len(feedback_report.corrected)
+                if feedback_report is not None
+                else 0
+            ),
+            feedback=feedback_report,
         )
         if tracer is not None:
             tracer.finish(

@@ -105,6 +105,7 @@ class EtlSession:
     contracts: "object | None" = None  # quality.ContractSet for every run
     on_drift: str | None = None  # schema-drift policy when contracts are set
     quarantine: "object | None" = None  # shared QuarantineStore across runs
+    feedback: "object | None" = None  # shared catalog FeedbackCorrector
     _prior_observations: StatisticsStore | None = None
 
     def __post_init__(self) -> None:
@@ -144,6 +145,7 @@ class EtlSession:
             contracts=self.contracts,
             on_drift=self.on_drift,
             quarantine=self.quarantine,
+            feedback=self.feedback,
         )
         self._retain_observations(report)
 

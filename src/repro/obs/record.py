@@ -138,6 +138,20 @@ def record_run_metrics(
         for event in schema_drift:
             events.inc(source=event.source, kind=event.kind, **labels)
 
+    # distinct-sketch taps (mode "hll"): accumulator bytes the run held,
+    # and catalog corrections the feedback loop applied
+    if getattr(report, "sketch_mode", "exact") != "exact":
+        registry.gauge(
+            "etl_sketch_bytes",
+            "distinct-sketch accumulator bytes held/shipped by the last run",
+        ).set(getattr(report, "sketch_bytes", 0), **labels)
+    corrections = getattr(report, "corrections", 0)
+    if corrections:
+        registry.counter(
+            "etl_catalog_corrections_total",
+            "catalog entries corrected in place by the feedback loop",
+        ).inc(corrections, **labels)
+
     drift = getattr(report, "drift", None)
     if drift is not None:
         registry.counter(

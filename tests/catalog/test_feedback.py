@@ -1,0 +1,326 @@
+"""The adaptive feedback loop: error stream -> catalog corrections.
+
+Unit pins for :class:`~repro.catalog.feedback.FeedbackCorrector` (EWMA
+smoothing, miss streaks, in-place correction with quality penalty), its
+re-ranking contract with :func:`~repro.catalog.fleet.plan_fleet`, and
+the acceptance scenario: a two-night pipeline run where night one is
+poisoned with a misestimate, the corrector fixes the catalog in place
+(``etl_catalog_corrections_total`` > 0), and night two's estimation
+error is strictly lower.
+"""
+
+import pytest
+
+from repro.algebra.blocks import analyze
+from repro.catalog import (
+    FeedbackCorrector,
+    StatisticsCatalog,
+    WorkflowSigner,
+    plan_fleet,
+    reconcile_run,
+)
+from repro.core.costs import CostModel
+from repro.core.generator import generate_css
+from repro.core.greedy import solve_greedy
+from repro.core.selection import build_problem
+from repro.core.statistics import Statistic
+from repro.engine.backend import BackendExecutor, get_backend
+from repro.framework.pipeline import StatisticsPipeline
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.workloads import case
+
+NOW = 3_000_000.0
+
+
+def observe(number=11, scale=0.2, seed=7):
+    wfcase = case(number)
+    workflow = wfcase.build()
+    analysis = analyze(workflow)
+    selection = solve_greedy(
+        build_problem(generate_css(analysis), CostModel(workflow.catalog))
+    )
+    sources = wfcase.tables(scale=scale, seed=seed)
+    backend = get_backend("columnar")
+    run = BackendExecutor(analysis, backend).run(
+        sources, taps=backend.make_taps(selection.observed)
+    )
+    return workflow, WorkflowSigner(analysis), selection, run
+
+
+def seeded_catalog(signer, selection, run):
+    catalog = StatisticsCatalog()
+    reconcile_run(
+        catalog,
+        signer,
+        run.observations,
+        run.se_sizes,
+        selection.observed,
+        workflow="wf11",
+        run_id="r0",
+        backend="columnar",
+        now=NOW,
+    )
+    return catalog
+
+
+class TestCorrectorUnit:
+    def test_accurate_predictions_correct_nothing(self):
+        _, signer, selection, run = observe()
+        catalog = seeded_catalog(signer, selection, run)
+        corrector = FeedbackCorrector(catalog)
+        report = corrector.observe_run(
+            signer, dict(run.se_sizes), run.se_sizes, now=NOW
+        )
+        assert report.observed > 0
+        assert report.corrected == [] and report.flagged == []
+        assert report.mean_rel_error == 0.0
+        assert corrector.corrections_total == 0
+
+    def test_misestimate_corrects_entry_in_place(self):
+        _, signer, selection, run = observe()
+        catalog = seeded_catalog(signer, selection, run)
+        size_before = len(catalog)
+        estimates = {se: rows * 10 for se, rows in run.se_sizes.items()}
+        corrector = FeedbackCorrector(catalog)
+        report = corrector.observe_run(
+            signer, estimates, run.se_sizes,
+            workflow="wf11", run_id="r1", now=NOW + 10,
+        )
+        assert report.corrections > 0
+        assert corrector.corrections_total == report.corrections
+        assert len(catalog) == size_before  # in place, never new entries
+
+        corrected = 0
+        for se, rows in run.se_sizes.items():
+            key = signer.statistic_key(Statistic.card(se))
+            entry = catalog.get(key)
+            if entry is None:
+                continue
+            corrected += 1
+            assert entry.value() == rows  # refreshed to the observed value
+            assert entry.quality < 1.0  # and penalized for the miss
+            assert entry.run_id == "r1"
+        assert corrected > 0
+
+    def test_ewma_smoothing_and_streaks(self):
+        _, signer, selection, run = observe()
+        corrector = FeedbackCorrector(None, smoothing=0.5)
+        se = next(iter(run.se_sizes))
+        key = signer.statistic_key(Statistic.card(se))
+        actual = {se: run.se_sizes[se]}
+
+        corrector.observe_run(signer, {se: run.se_sizes[se] * 2}, actual)
+        first = corrector.errors[key]
+        assert first > corrector.threshold
+        assert corrector.streaks[key] == 1
+        assert not corrector.should_reobserve(key) or first > 0.25
+
+        corrector.observe_run(signer, dict(actual), actual)
+        # EWMA halves toward zero; an accurate run resets the streak
+        assert corrector.errors[key] == pytest.approx(first / 2)
+        assert corrector.streaks[key] == 0
+
+    def test_streak_flags_reobservation(self):
+        _, signer, selection, run = observe()
+        corrector = FeedbackCorrector(None, reobserve_streak=2)
+        se = next(iter(run.se_sizes))
+        key = signer.statistic_key(Statistic.card(se))
+        wrong = {se: run.se_sizes[se] * 3}
+        actual = {se: run.se_sizes[se]}
+
+        corrector.observe_run(signer, wrong, actual)
+        assert corrector.streaks[key] == 1
+        report = corrector.observe_run(signer, wrong, actual)
+        assert corrector.streaks[key] == 2
+        assert corrector.should_reobserve(key)
+        assert key in report.flagged
+
+    def test_priority_is_smoothed_error(self):
+        corrector = FeedbackCorrector(None)
+        corrector.errors["k1"] = 0.8
+        assert corrector.priority("k1") == 0.8
+        assert corrector.priority("unknown") == 0.0
+        assert corrector.priority(None) == 0.0
+
+    def test_metrics_and_describe(self):
+        _, signer, selection, run = observe()
+        catalog = seeded_catalog(signer, selection, run)
+        registry = MetricsRegistry()
+        corrector = FeedbackCorrector(catalog)
+        report = corrector.observe_run(
+            signer,
+            {se: rows * 10 for se, rows in run.se_sizes.items()},
+            run.se_sizes,
+            workflow="wf11",
+            now=NOW + 10,
+            metrics=registry,
+        )
+        assert registry.get("feedback_corrections_total").value(
+            workflow="wf11"
+        ) == report.corrections
+        assert registry.get("feedback_mean_rel_error").value(
+            workflow="wf11"
+        ) == pytest.approx(report.mean_rel_error)
+        assert "corrected" in report.describe()
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackCorrector(None, smoothing=0.0)
+
+
+class TestFleetReRanking:
+    def test_flagged_keys_withdrawn_from_catalog_cover(self):
+        workflow, signer, selection, run = observe()
+        catalog = seeded_catalog(signer, selection, run)
+
+        # warm catalog: nothing to observe tonight
+        warm = plan_fleet([workflow], catalog, solver="greedy", now=NOW + 1)
+        assert warm.workflows[0].observe == []
+
+        # two badly-missed nights flag every cardinality for re-observation
+        corrector = FeedbackCorrector(catalog)
+        wrong = {se: rows * 10 for se, rows in run.se_sizes.items()}
+        corrector.observe_run(signer, wrong, run.se_sizes, now=NOW + 2)
+        corrector.observe_run(signer, wrong, run.se_sizes, now=NOW + 3)
+
+        replanned = plan_fleet(
+            [workflow], catalog, solver="greedy",
+            now=NOW + 4, feedback=corrector,
+        )
+        plan = replanned.workflows[0]
+        assert plan.observe  # the poisoned entries are observed afresh
+        flagged_keys = {
+            key for key in corrector.errors if corrector.should_reobserve(key)
+        }
+        observed_keys = {
+            signer.statistic_key(stat) for stat in plan.observe
+        }
+        assert observed_keys & flagged_keys
+
+    def test_observe_list_ordered_most_misestimated_first(self):
+        workflow, signer, selection, run = observe()
+        corrector = FeedbackCorrector(None)
+        # cold catalog: everything is observed; seed distinct priorities
+        # straight into the corrector's smoothed-error state
+        baseline = plan_fleet([workflow], solver="greedy", now=NOW)
+        stats = baseline.workflows[0].observe
+        assert len(stats) >= 2
+        for rank, stat in enumerate(reversed(stats)):
+            corrector.errors[signer.statistic_key(stat)] = 0.3 + 0.01 * rank
+
+        ranked = plan_fleet(
+            [workflow], solver="greedy", now=NOW, feedback=corrector
+        )
+        priorities = [
+            corrector.priority(signer.statistic_key(stat))
+            for stat in ranked.workflows[0].observe
+        ]
+        assert priorities == sorted(priorities, reverse=True)
+
+
+class TestTwoNightSelfCorrection:
+    """The acceptance scenario: a poisoned night self-corrects."""
+
+    def test_injected_misestimate_corrected_on_night_two(self, tmp_path):
+        wfcase = case(11)
+        sources = wfcase.tables(scale=0.2, seed=7)
+        catalog = StatisticsCatalog(tmp_path / "catalog.json")
+
+        # night zero populates the catalog with honest entries
+        StatisticsPipeline(wfcase.build(), solver="greedy").run_once(
+            sources, stats_catalog=catalog, run_id="n0"
+        )
+
+        # poison: inflate every base-source cardinality tenfold -- the
+        # catalog hit feeds the optimizer the wrong prior on night one
+        poisoned = 0
+        for key, entry in list(catalog.entries.items()):
+            stat = entry.statistic()
+            if not (stat.is_cardinality and len(stat.se) == 1):
+                continue
+            catalog.record(
+                key,
+                entry.se_key,
+                stat,
+                int(entry.value()) * 10,
+                workflow=entry.workflow,
+                run_id="poison",
+                backend=entry.backend,
+                observed_at=entry.observed_at,
+            )
+            poisoned += 1
+        assert poisoned > 0
+
+        corrector = FeedbackCorrector(catalog)
+        reports, registries = [], []
+        for night in ("n1", "n2"):
+            registry = MetricsRegistry()
+            # a drift threshold far above any real error keeps the drift
+            # scan out of the way: only the feedback loop may correct
+            report = StatisticsPipeline(
+                wfcase.build(), solver="greedy"
+            ).run_once(
+                sources,
+                stats_catalog=catalog,
+                run_id=night,
+                drift_threshold=1000.0,
+                feedback=corrector,
+                tracer=Tracer(),
+                metrics=registry,
+            )
+            reports.append(report)
+            registries.append(registry)
+
+        night1, night2 = reports
+        # night one saw the poison and corrected the catalog in place
+        assert night1.corrections > 0
+        assert night1.feedback.mean_rel_error > 0.25
+        assert registries[0].get("etl_catalog_corrections_total").value(
+            workflow=wfcase.build().name, backend="columnar"
+        ) == night1.corrections
+
+        # night two runs on the corrected entries: strictly lower error,
+        # nothing left to fix
+        assert night2.feedback.mean_rel_error < night1.feedback.mean_rel_error
+        assert night2.corrections == 0
+        assert registries[1].get("etl_catalog_corrections_total") is None
+
+        # the trace-layer histogram tells the same story
+        name = wfcase.build().name
+        labels = dict(workflow=name, backend="columnar")
+        means = []
+        for registry in registries:
+            hist = registry.get("etl_estimation_rel_error")
+            assert hist is not None and hist.count(**labels) > 0
+            means.append(hist.sum(**labels) / hist.count(**labels))
+        assert means[1] < means[0]
+
+        # and the corrections were persisted with the night-one save
+        reopened = StatisticsCatalog.open(tmp_path / "catalog.json")
+        assert not any(
+            entry.run_id == "poison" for entry in reopened.entries.values()
+        )
+
+
+class TestSessionWiring:
+    def test_session_feeds_every_run_through_the_corrector(self, tmp_path):
+        from repro.framework.session import EtlSession
+
+        wfcase = case(11)
+        sources = wfcase.tables(scale=0.2, seed=7)
+        catalog = StatisticsCatalog(tmp_path / "catalog.json")
+        corrector = FeedbackCorrector(catalog)
+        session = EtlSession(
+            StatisticsPipeline(wfcase.build(), solver="greedy"),
+            stats_catalog=catalog,
+            feedback=corrector,
+        )
+        session.run(sources)
+        session.run(sources)
+        assert all(
+            record.report.feedback is not None for record in session.history
+        )
+        # honest catalog entries, honest priors: nothing to correct
+        assert corrector.corrections_total == 0
+        assert session.history[1].report.feedback.observed > 0

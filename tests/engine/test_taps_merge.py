@@ -225,3 +225,85 @@ class TestMergeProtocolEdges:
         assert merged.frequency(2) == 2
         assert merged.frequency(3) == 1
         assert merged.total() == 5
+
+
+class TestSketchModeFactorySeam:
+    """Regression: every tap type builds accumulators via the factory.
+
+    StreamingTaps once constructed ``DistinctAccumulator`` directly,
+    which under ``mode="hll"`` would have mixed implementations inside
+    one run -- the exact accumulator on the merge side, sketches on the
+    observe side -- and ``merge`` now refuses that instead of silently
+    unioning a sketch into a set.
+    """
+
+    HLL = {"mode": "hll", "precision": 10, "exact_threshold": 4}
+
+    def test_streaming_merge_builds_factory_accumulators(self):
+        from repro.estimation.sketches import HllSketch, sketch_scope
+
+        stat = Statistic.distinct(SE("T"), "a")
+        with sketch_scope(self.HLL):
+            shards = [StreamingTaps([stat]) for _ in range(2)]
+            for taps, lo in zip(shards, (0, 40)):
+                taps.mark_streamed(SE("T"))
+                for i in range(lo, lo + 40):
+                    taps.observe_row(SE("T"), {"a": i})
+            merged, other = shards
+            merged.merge(other)
+            assert isinstance(merged._distinct[stat], HllSketch)
+
+            whole = StreamingTaps([stat])
+            whole.mark_streamed(SE("T"))
+            for i in range(80):
+                whole.observe_row(SE("T"), {"a": i})
+            assert merged.collect().get(stat) == whole.collect().get(stat)
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("k", [2, 3, 7])
+    def test_tapset_sharded_sketch_merge_equals_unsharded(self, seed, k):
+        from repro.estimation.sketches import sketch_scope
+
+        rng = random.Random(seed * 23 + k)
+        table = _random_table(rng, rows=rng.randrange(1, 120))
+        stats = _stats()
+        with sketch_scope(self.HLL):
+            whole = TapSet(stats, mergeable=True)
+            whole.observe(SE("T"), table)
+
+            shards = [TapSet(stats, mergeable=True) for _ in range(k)]
+            for taps, piece in zip(shards, _random_shards(rng, table, k)):
+                taps.observe(SE("T"), piece)
+            merged, *rest = shards
+            for taps in rest:
+                merged.merge(taps)
+
+            for stat in stats:
+                assert merged.store.get(stat) == whole.store.get(stat), stat
+
+    def test_mixed_implementation_merge_raises(self):
+        from repro.estimation.sketches import sketch_scope
+
+        stat = Statistic.distinct(SE("T"), "a")
+        exact_taps = TapSet([stat], mergeable=True)
+        exact_taps.observe(SE("T"), Table({"a": [1, 2]}))
+        with sketch_scope(self.HLL):
+            hll_taps = TapSet([stat], mergeable=True)
+            hll_taps.observe(SE("T"), Table({"a": [2, 3]}))
+            with pytest.raises(InstrumentationError, match="mixed"):
+                hll_taps.merge(exact_taps)
+        with pytest.raises(InstrumentationError, match="mixed"):
+            exact_taps.merge(hll_taps)
+
+    def test_distinct_bytes_reports_sketch_state(self):
+        from repro.estimation.sketches import sketch_scope
+
+        stat = Statistic.distinct(SE("T"), "a")
+        with sketch_scope(self.HLL):
+            taps = TapSet([stat], mergeable=True)
+            taps.observe(SE("T"), Table({"a": list(range(100))}))
+            # past the threshold the accumulator densified: exactly 2^p
+            assert taps.distinct_bytes() == 1 << self.HLL["precision"]
+        plain = TapSet([stat], mergeable=True)
+        plain.observe(SE("T"), Table({"a": list(range(100))}))
+        assert plain.distinct_bytes() > 1 << self.HLL["precision"]

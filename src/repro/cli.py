@@ -43,7 +43,12 @@ console script):
   the log on restart without losing an acknowledged entry.  Point runs
   at it with ``run --catalog http://host:port`` (or the unix URL); an
   unreachable server degrades the run to the local view
-  (``--catalog-fallback``) with plan confidence demoted one rung;
+  (``--catalog-fallback``) with plan confidence demoted one rung.  For
+  high availability start a second server with ``--replicate-from URL``
+  (a warm standby tailing the primary's WAL stream) and give runs both
+  endpoints: ``run --catalog http://primary,http://standby`` fails
+  writes over to whichever server is primary, promoting the standby
+  (epoch-fenced against the old primary resurrecting) when needed;
 - ``trace show <trace.json>`` -- render a persisted run trace as an
   indented span tree, with the slowest blocks and the worst
   estimated-vs-actual row errors summarized below it;
@@ -558,7 +563,9 @@ def _cmd_catalog_plan_fleet(args) -> int:
 
 def _cmd_serve(args) -> int:
     import signal
+    import threading
 
+    from repro.core.persistence import PersistenceError
     from repro.serve.server import make_server
 
     try:
@@ -568,21 +575,30 @@ def _cmd_serve(args) -> int:
             wal_path=args.wal,
             log_path=args.log,
             snapshot_every=args.snapshot_every,
+            snapshot_interval=args.snapshot_interval,
+            gc_interval=args.gc_interval,
             lease_ttl=args.lease_ttl,
             fsync=not args.no_fsync,
+            replicate_from=args.replicate_from,
+            auto_promote_after=args.auto_promote_after,
         )
-    except OSError as exc:
+    except (OSError, PersistenceError) as exc:
         raise CliError(f"cannot start catalog server: {exc}") from exc
     service = server.service
     print(
-        f"catalog server: {args.listen} serving {args.catalog} "
-        f"({len(service.all_entries())} entries, "
+        f"catalog server [{service.role}]: {args.listen} serving "
+        f"{args.catalog} ({len(service.all_entries())} entries, "
         f"{service.replayed_records} WAL record(s) replayed)",
         flush=True,
     )
 
-    def _term(signum, frame):  # SIGTERM drains like ^C: snapshot, then exit
-        raise KeyboardInterrupt
+    def _term(signum, frame):
+        # SIGTERM drains gracefully: stop accepting, let in-flight
+        # requests finish replying, take a final snapshot, release the
+        # WAL lock, exit 0.  shutdown() blocks until serve_forever
+        # returns, so it must not run on this (main) thread's signal
+        # frame -- hand it to a helper and fall through to the drain.
+        threading.Thread(target=server.shutdown, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _term)
     try:
@@ -590,6 +606,7 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        server.drain(10.0)
         server.server_close()
         server.shutdown_service()
     print("catalog server stopped: snapshot taken, WAL truncated")
@@ -774,7 +791,9 @@ def build_parser() -> argparse.ArgumentParser:
         "at zero cost instead of re-observed; the run reconciles "
         "(drift-checks) and saves the catalog afterwards.  A "
         "http://host:port or unix:///path.sock URL talks to a "
-        "`repro-etl serve` daemon instead of a local file",
+        "`repro-etl serve` daemon instead of a local file; a "
+        "comma-separated URL list (primary,standby,...) fails writes "
+        "over to whichever endpoint is primary",
     )
     p.add_argument(
         "--catalog-fallback",
@@ -899,6 +918,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync",
         action="store_true",
         help="skip per-record fsync (faster, loses crash durability)",
+    )
+    p.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="background snapshot+GC daemon cadence (default 30s); the "
+        "write path only flags snapshot debt, the daemon pays it",
+    )
+    p.add_argument(
+        "--gc-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire aged catalog entries on the snapshot daemon at this "
+        "cadence (primary only; default: never)",
+    )
+    p.add_argument(
+        "--replicate-from",
+        default=None,
+        metavar="URL",
+        help="start as a warm standby of this primary: tail its WAL "
+        "stream, answer reads, refuse writes with a redirect, and "
+        "promote (epoch-fenced) if the primary goes silent",
+    )
+    p.add_argument(
+        "--auto-promote-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="standby self-promotes after N consecutive failed stream "
+        "polls (0 disables; promotion then needs POST /promote)",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -59,6 +59,11 @@ FAULT_KINDS = (
     "server-kill",
     "server-hang",
     "net-flap",
+    # HA injectors: primary-kill matches the *endpoint URL* (not the route)
+    # so one box of a replicated pair dies while the other keeps answering;
+    # replication-stall sleeps the standby's stream poll so lag grows
+    "primary-kill",
+    "replication-stall",
     # shard-worker injectors: consulted by sharding backends at shard
     # dispatch (``on_shard``), so a worker process dying or hanging mid-run
     # exercises the pool-recovery and shard-retry path
@@ -70,7 +75,10 @@ FAULT_KINDS = (
 _SOURCE_KINDS = ("truncate", "corrupt-row", "type-flip", "column-rename", "null-burst")
 
 #: kinds fired at catalog-client request boundaries (see ``on_request``)
-_SERVER_KINDS = ("server-kill", "server-hang", "net-flap")
+_SERVER_KINDS = ("server-kill", "server-hang", "net-flap", "primary-kill")
+
+#: kinds fired at standby stream-poll boundaries (see ``on_replication``)
+_REPLICATION_KINDS = ("replication-stall",)
 
 #: kinds fired at shard dispatch inside a sharding backend (see ``on_shard``)
 _SHARD_KINDS = ("worker-kill", "worker-hang")
@@ -157,6 +165,8 @@ class FaultSpec:
             raise FaultError(f"fraction must be in [0, 1], got {self.fraction}")
         if self.kind == "column-rename" and not self.column:
             raise FaultError("a column-rename fault needs 'column'")
+        if self.kind == "replication-stall" and self.delay <= 0:
+            raise FaultError("a replication-stall fault needs 'delay' > 0")
         if self.rename_to is not None and self.kind != "column-rename":
             raise FaultError("'rename_to' only applies to column-rename faults")
         if self.shard is not None:
@@ -174,10 +184,14 @@ class FaultSpec:
         if self.times is not None:
             return self.times
         # a lone network flap, like a lone transient, should be outlived
-        # by a single retry; a killed server stays dead until restarted.
-        # a killed/hung worker is *replaced* by the pool, so the default
-        # budget is one firing and the shard retry converges
-        if self.kind in ("transient", "net-flap", "worker-kill", "worker-hang"):
+        # by a single retry; a killed server (or killed primary) stays dead
+        # until restarted.  a killed/hung worker is *replaced* by the pool,
+        # and a lone replication stall is outlived by the next poll, so
+        # their default budget is one firing
+        if self.kind in (
+            "transient", "net-flap", "worker-kill", "worker-hang",
+            "replication-stall",
+        ):
             return 1
         return None
 
@@ -411,6 +425,7 @@ class FaultInjector:
                     spec.kind in _SOURCE_KINDS
                     or spec.kind in _SERVER_KINDS
                     or spec.kind in _SHARD_KINDS
+                    or spec.kind in _REPLICATION_KINDS
                 ):
                     continue
                 scope = next((s for s in scopes if spec.matches(s)), None)
@@ -450,7 +465,7 @@ class FaultInjector:
         if raised is not None:
             raise raised
 
-    def on_request(self, name: str) -> None:
+    def on_request(self, name: str, endpoint: str = "") -> None:
         """Fire matching *server* faults for one catalog-client request.
 
         ``name`` is the request route (``"/put"``); specs match it by glob
@@ -460,6 +475,12 @@ class FaultInjector:
         not heal by retrying), ``server-hang`` sleeps ``delay`` seconds
         and then times out transiently, ``net-flap`` raises one transient
         error a single retry outlives.
+
+        ``primary-kill`` is the HA variant: its target globs the
+        ``endpoint`` *URL* instead of the route, so with a replicated pair
+        exactly one box goes permanently dark while requests to the other
+        endpoint sail through -- the client's failover path, not its
+        degradation path, gets exercised.
         """
         pause = 0.0
         raised: InjectedFault | None = None
@@ -469,28 +490,42 @@ class FaultInjector:
             for index, spec in enumerate(self.plan.specs):
                 if spec.kind not in _SERVER_KINDS:
                     continue
-                if not spec.matches(name):
+                fire_key = request_key
+                if spec.kind == "primary-kill":
+                    if not endpoint or not spec.matches(endpoint):
+                        continue
+                    # budget and telemetry keyed per endpoint, not per
+                    # route: the fault is about a box, not a request
+                    fire_key = f"request:{endpoint}"
+                elif not spec.matches(name):
                     continue
-                key = (index, request_key)
+                key = (index, fire_key)
                 limit = spec.fire_limit
                 if limit is not None and self._fired[key] >= limit:
                     continue
                 if spec.probability < 1.0:
                     rng = self._rngs.setdefault(
                         key,
-                        random.Random(f"{self.plan.seed}:{index}:{request_key}"),
+                        random.Random(f"{self.plan.seed}:{index}:{fire_key}"),
                     )
                     if rng.random() >= spec.probability:
                         continue
                 self._fired[key] += 1
                 self.events.append(
                     FaultEvent(
-                        task=request_key,
+                        task=fire_key,
                         target=spec.target,
                         kind=spec.kind,
                         attempt=self._attempts[request_key],
                     )
                 )
+                if spec.kind == "primary-kill":
+                    message = spec.message or (
+                        f"injected primary-kill fault: endpoint "
+                        f"{endpoint!r} is dead"
+                    )
+                    raised = PermanentFault(message)
+                    break
                 message = spec.message or (
                     f"injected {spec.kind} fault on catalog request {name!r}"
                 )
@@ -506,6 +541,48 @@ class FaultInjector:
             time.sleep(pause)
         if raised is not None:
             raise raised
+
+    def on_replication(self, name: str) -> None:
+        """Fire matching *replication* faults for one stream poll.
+
+        ``name`` is the upstream the standby tails (its URL); a
+        ``replication-stall`` spec matching it sleeps ``delay`` seconds in
+        the tailer thread -- the stream survives, the standby just falls
+        behind, and the lag gauge shows it.  The default budget is one
+        stall (the next poll catches up); set ``times`` for a longer one.
+        """
+        pause = 0.0
+        poll_key = f"replication:{name}"
+        with self._lock:
+            self._attempts[poll_key] += 1
+            for index, spec in enumerate(self.plan.specs):
+                if spec.kind not in _REPLICATION_KINDS:
+                    continue
+                if not spec.matches(name):
+                    continue
+                key = (index, poll_key)
+                limit = spec.fire_limit
+                if limit is not None and self._fired[key] >= limit:
+                    continue
+                if spec.probability < 1.0:
+                    rng = self._rngs.setdefault(
+                        key,
+                        random.Random(f"{self.plan.seed}:{index}:{poll_key}"),
+                    )
+                    if rng.random() >= spec.probability:
+                        continue
+                self._fired[key] += 1
+                self.events.append(
+                    FaultEvent(
+                        task=poll_key,
+                        target=spec.target,
+                        kind=spec.kind,
+                        attempt=self._attempts[poll_key],
+                    )
+                )
+                pause += spec.delay
+        if pause:
+            time.sleep(pause)
 
     def on_shard(self, block_name: str, shard: int) -> "FaultSpec | None":
         """The worker fault (if any) to apply to one shard dispatch.

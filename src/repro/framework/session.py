@@ -68,7 +68,11 @@ class EtlSession:
     every run -- catalog-covered statistics are consumed at zero cost
     instead of re-observed, each completed run reconciles (and persists)
     the catalog, and runs of *other* workflows sharing the same catalog
-    file inherit tonight's observations.
+    file inherit tonight's observations.  A served catalog may be an HA
+    pair: hand the session a :class:`~repro.serve.client.CatalogClient`
+    built from ``"http://primary,http://standby"`` and a mid-session
+    primary crash fails over (``report.catalog_failovers``) instead of
+    degrading the night.
 
     Quality: ``contracts`` (a
     :class:`~repro.quality.contracts.ContractSet`) arms the data-quality

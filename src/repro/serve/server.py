@@ -25,10 +25,17 @@ Endpoints
 ``POST /lease/release``      ``{fence}`` -> give the lease back after a save
 ``POST /fleet/claim``        ``{number | workflow, night, client?}`` -> my share
 ``POST /snapshot``           force a write-behind snapshot + WAL truncation
+``GET /wal/stream?from=N``   replication stream: records past N, or a reset
+``POST /promote``            make this standby the primary (epoch bump)
 ===========================  ====================================================
 
 Writes carrying a stale fence token answer **409** -- the holder's lease
 was taken over and its buffered night must not clobber the successor's.
+Two more 409 shapes drive high availability: a mutation against a standby
+answers ``{"not_primary": true, "primary": URL}`` (the client should
+redirect), and a mutation carrying a stale promotion epoch answers
+``{"stale_epoch": true, "epoch": N}`` (split-brain fencing -- the writer,
+or the server itself, was superseded by a promoted standby).
 """
 
 from __future__ import annotations
@@ -44,7 +51,14 @@ from pathlib import Path
 
 from repro.core.persistence import PersistenceError
 from repro.obs.metrics import MetricsRegistry
-from repro.serve.service import CatalogService, FenceError
+from repro.serve.service import (
+    DEFAULT_SNAPSHOT_INTERVAL,
+    CatalogService,
+    EpochError,
+    FenceError,
+    NotPrimaryError,
+    SnapshotDaemon,
+)
 
 
 def _fleet_workflow(body: dict):
@@ -105,10 +119,27 @@ class CatalogRequestHandler(BaseHTTPRequestHandler):
         return doc
 
     def _handle(self, method: str) -> None:
-        route = f"{method} {self.path}"
+        path = self.path.split("?", 1)[0]
+        route = f"{method} {path}"
         started = time.perf_counter()
+        self.server.request_began()
         try:
             status, doc = self._dispatch(method)
+        except NotPrimaryError as exc:
+            # redirect semantics: the body names the primary to retry on
+            status, doc = 409, {
+                "error": str(exc),
+                "not_primary": True,
+                "primary": exc.primary,
+                "epoch": self.service.epoch,
+            }
+        except EpochError as exc:
+            # split-brain fencing: the writer (or this server) is stale
+            status, doc = 409, {
+                "error": str(exc),
+                "stale_epoch": True,
+                "epoch": self.service.epoch,
+            }
         except FenceError as exc:
             status, doc = 409, {"error": str(exc)}
         except (PersistenceError, ValueError, KeyError) as exc:
@@ -120,12 +151,16 @@ class CatalogRequestHandler(BaseHTTPRequestHandler):
             self._reply(status, doc)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client vanished mid-reply; its retry will re-ask
+        finally:
+            # the drain in shutdown counts a request done only once its
+            # reply is on the wire
+            self.server.request_ended()
         self.metrics.counter(
             "catalog_server_requests_total", "requests by route and status"
-        ).inc(route=self.path, status=str(status))
+        ).inc(route=path, status=str(status))
         self.metrics.histogram(
             "catalog_server_request_seconds", "server-side request latency"
-        ).observe(time.perf_counter() - started, route=self.path)
+        ).observe(time.perf_counter() - started, route=path)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._handle("GET")
@@ -138,10 +173,27 @@ class CatalogRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _dispatch(self, method: str) -> tuple[int, dict]:
         service = self.service
+        path, _, query = self.path.partition("?")
         if method == "GET":
-            if self.path == "/healthz":
-                return 200, service.stats()
-            if self.path == "/metrics":
+            if path == "/healthz":
+                doc = service.stats()
+                tailer = getattr(self.server, "tailer", None)
+                if tailer is not None:
+                    doc["replication_lag"] = tailer.lag
+                    doc["upstream"] = tailer.primary_url
+                return 200, doc
+            if path == "/wal/stream":
+                from urllib.parse import parse_qs
+
+                params = parse_qs(query)
+                try:
+                    from_seq = int(params.get("from", ["0"])[0])
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad ?from= cursor in {self.path!r}"
+                    ) from exc
+                return 200, service.wal_stream(from_seq)
+            if path == "/metrics":
                 # /metrics is text, not JSON: short-circuit the reply
                 body = self.metrics.render_prometheus().encode("utf-8")
                 self.send_response(200)
@@ -152,66 +204,90 @@ class CatalogRequestHandler(BaseHTTPRequestHandler):
                 self.end_headers()
                 self.wfile.write(body)
                 return 200, {"_sent": True}
-            if self.path == "/keys":
+            if path == "/keys":
                 return 200, {"keys": sorted(service.usable_keys())}
-            if self.path == "/export":
+            if path == "/export":
                 # the full catalog document (clients seed their mirror
                 # from this; it is also a valid on-disk catalog file)
                 return 200, service.to_dict()
-            return 404, {"error": f"no such endpoint {self.path}"}
+            return 404, {"error": f"no such endpoint {path}"}
 
         body = self._body()
         fence = body.get("fence")
-        if self.path == "/lookup":
+        epoch = body.get("epoch")
+        epoch = int(epoch) if epoch is not None else None
+        if path == "/lookup":
             entries = service.lookup(
                 body.get("keys", []),
                 now=body.get("now"),
                 count_hits=bool(body.get("count_hits", True)),
             )
             return 200, {"entries": [e.to_dict() for e in entries]}
-        if self.path == "/entries":
+        if path == "/entries":
             entries = service.entries_on_se(body.get("se_keys", []))
             return 200, {"entries": [e.to_dict() for e in entries]}
-        if self.path == "/put":
-            seq = service.put_entries(body.get("entries", []), fence=fence)
-            return 200, {"seq": seq}
-        if self.path == "/merge":
-            seq = service.merge_entries(body.get("entries", []), fence=fence)
-            return 200, {"seq": seq}
-        if self.path == "/stale":
-            seq = service.mark_stale(body.get("keys", []), fence=fence)
-            return 200, {"seq": seq}
-        if self.path == "/quality":
-            seq = service.adjust_quality(body.get("adjust", []), fence=fence)
-            return 200, {"seq": seq}
-        if self.path == "/gc":
+        if path == "/put":
+            seq = service.put_entries(
+                body.get("entries", []), fence=fence, epoch=epoch
+            )
+            return 200, {"seq": seq, "epoch": service.epoch}
+        if path == "/merge":
+            seq = service.merge_entries(
+                body.get("entries", []), fence=fence, epoch=epoch
+            )
+            return 200, {"seq": seq, "epoch": service.epoch}
+        if path == "/stale":
+            seq = service.mark_stale(
+                body.get("keys", []), fence=fence, epoch=epoch
+            )
+            return 200, {"seq": seq, "epoch": service.epoch}
+        if path == "/quality":
+            seq = service.adjust_quality(
+                body.get("adjust", []), fence=fence, epoch=epoch
+            )
+            return 200, {"seq": seq, "epoch": service.epoch}
+        if path == "/gc":
             removed = service.gc(
                 ttl=body.get("ttl"),
                 min_quality=body.get("min_quality"),
                 drop_stale=bool(body.get("drop_stale", True)),
                 fence=fence,
+                epoch=epoch,
             )
             return 200, {"removed": removed}
-        if self.path == "/lease":
+        if path == "/lease":
             token = service.acquire_lease(
-                str(body.get("holder", "anonymous")), ttl=body.get("ttl")
+                str(body.get("holder", "anonymous")),
+                ttl=body.get("ttl"),
+                epoch=epoch,
             )
-            return 200, {"fence": token}
-        if self.path == "/lease/release":
-            released = service.release_lease(int(body.get("fence", 0)))
-            return 200, {"released": released}
-        if self.path == "/fleet/claim":
+            return 200, {"fence": token, "epoch": service.epoch}
+        if path == "/lease/release":
+            released = service.release_lease(
+                int(body.get("fence", 0)), epoch=epoch
+            )
+            return 200, {"released": released, "epoch": service.epoch}
+        if path == "/fleet/claim":
             share = service.plan_share(
                 _fleet_workflow(body),
                 night=str(body.get("night", "tonight")),
                 client=str(body.get("client", "")),
                 solver=str(body.get("solver", "greedy")),
+                epoch=epoch,
             )
             return 200, share
-        if self.path == "/snapshot":
+        if path == "/promote":
+            new_epoch = service.promote()
+            tailer = getattr(self.server, "tailer", None)
+            if tailer is not None:
+                # stop tailing the old primary in the background; the
+                # epoch fence would reject its stream anyway
+                threading.Thread(target=tailer.stop, daemon=True).start()
+            return 200, {"epoch": new_epoch, "role": service.role}
+        if path == "/snapshot":
             service.snapshot()
             return 200, {"wal_seq": service.wal.last_seq}
-        return 404, {"error": f"no such endpoint {self.path}"}
+        return 404, {"error": f"no such endpoint {path}"}
 
 
 class _ServerCore:
@@ -229,6 +305,35 @@ class _ServerCore:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._log_path = Path(log_path) if log_path else None
         self._log_lock = threading.Lock()
+        self.tailer = None  # ReplicationTailer when started as a standby
+        self.snapshot_daemon = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    def request_began(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def request_ended(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish replying (SIGTERM path).
+
+        Keep-alive connections idle between requests do not count -- only
+        requests whose reply is not yet on the wire.  Returns ``False``
+        if stragglers remained at the deadline (the shutdown proceeds
+        anyway; their writes are WAL-durable or never acknowledged).
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight <= 0:
+                    return True
+            time.sleep(0.02)
+        with self._inflight_lock:
+            return self._inflight <= 0
 
     def log(self, message: str) -> None:
         line = f"{time.strftime('%Y-%m-%dT%H:%M:%S')} {message}\n"
@@ -238,9 +343,16 @@ class _ServerCore:
             with open(self._log_path, "a") as handle:
                 handle.write(line)
 
+    def stop_daemons(self) -> None:
+        if self.tailer is not None:
+            self.tailer.stop()
+        if self.snapshot_daemon is not None:
+            self.snapshot_daemon.stop()
+
     def shutdown_service(self) -> None:
         """Snapshot and close the store (a *graceful* stop; SIGKILL skips
         this, which is exactly what the WAL is for)."""
+        self.stop_daemons()
         self.service.close()
 
 
@@ -269,20 +381,37 @@ class UnixCatalogServer(
 
 
 def parse_listen(listen: str) -> tuple[str, object]:
-    """``host:port`` or ``unix:///path.sock`` -> (kind, address)."""
+    """``host:port`` or ``unix:///path.sock`` -> (kind, address).
+
+    Malformed addresses raise :class:`PersistenceError` (which the CLI
+    turns into a one-line exit 1): the host must be non-empty and the
+    port numeric within 0..65535 (0 binds an ephemeral port).
+    """
+    raw = listen
     if listen.startswith("unix://"):
         path = listen[len("unix://"):]
         if not path:
-            raise PersistenceError(f"empty unix socket path in {listen!r}")
+            raise PersistenceError(f"empty unix socket path in {raw!r}")
         return "unix", path
     if listen.startswith("http://"):
         listen = listen[len("http://"):].rstrip("/")
     host, sep, port = listen.rpartition(":")
-    if not sep or not port.isdigit():
+    if not sep or not port or not port.isdigit():
         raise PersistenceError(
-            f"bad listen address {listen!r}; want host:port or unix:///path"
+            f"bad listen address {raw!r}; want host:port or unix:///path"
         )
-    return "tcp", (host or "127.0.0.1", int(port))
+    if not host:
+        raise PersistenceError(
+            f"bad listen address {raw!r}: empty host "
+            f"(use 127.0.0.1:{port} or 0.0.0.0:{port})"
+        )
+    port_number = int(port)
+    if port_number > 65535:
+        raise PersistenceError(
+            f"bad listen address {raw!r}: port {port_number} out of "
+            "range 0-65535"
+        )
+    return "tcp", (host, port_number)
 
 
 def make_server(
@@ -293,16 +422,33 @@ def make_server(
     metrics: MetricsRegistry | None = None,
     log_path: str | Path | None = None,
     snapshot_every: int | None = None,
+    snapshot_interval: float | None = None,
+    gc_interval: float | None = None,
     lease_ttl: float | None = None,
     fsync: bool = True,
+    replicate_from: str | None = None,
+    auto_promote_after: int | None = None,
+    poll_interval: float | None = None,
+    faults=None,
 ):
-    """Build a ready-to-``serve_forever`` catalog server."""
+    """Build a ready-to-``serve_forever`` catalog server.
+
+    With ``replicate_from`` the server starts life as a standby: its
+    service refuses writes with a redirect to that URL, and a
+    :class:`~repro.serve.replication.ReplicationTailer` thread tails the
+    primary's WAL stream.  Every server also runs a
+    :class:`~repro.serve.service.SnapshotDaemon` so snapshots and GC
+    happen off the request path.
+    """
     metrics = metrics if metrics is not None else MetricsRegistry()
     kwargs = {}
     if snapshot_every is not None:
         kwargs["snapshot_every"] = snapshot_every
     if lease_ttl is not None:
         kwargs["lease_ttl"] = lease_ttl
+    if replicate_from:
+        kwargs["role"] = "standby"
+        kwargs["primary_url"] = replicate_from
     service = CatalogService(
         catalog_path, wal_path, metrics=metrics, fsync=fsync, **kwargs
     )
@@ -312,7 +458,27 @@ def make_server(
     else:
         server = TcpCatalogServer(address, CatalogRequestHandler)
     server.init_core(service, metrics, log_path)
-    server.log(f"serving catalog {catalog_path} on {listen}")
+    interval = (
+        DEFAULT_SNAPSHOT_INTERVAL if snapshot_interval is None else snapshot_interval
+    )
+    server.snapshot_daemon = SnapshotDaemon(
+        service, interval=interval, gc_interval=gc_interval
+    ).start()
+    if replicate_from:
+        from repro.serve.replication import ReplicationTailer
+
+        tailer_kwargs = {"faults": faults, "metrics": metrics}
+        if auto_promote_after is not None:
+            tailer_kwargs["auto_promote_after"] = auto_promote_after
+        if poll_interval is not None:
+            tailer_kwargs["poll_interval"] = poll_interval
+        server.tailer = ReplicationTailer(
+            service, replicate_from, **tailer_kwargs
+        ).start()
+    server.log(
+        f"serving catalog {catalog_path} on {listen} as {service.role}"
+        + (f" of {replicate_from}" if replicate_from else "")
+    )
     return server
 
 
@@ -349,7 +515,17 @@ class ServerThread:
         SIGKILL (recovery must come from the WAL alone)."""
         self.server.shutdown()
         self.server.server_close()
+        # background threads die with a real SIGKILL too; stop_daemons
+        # halts them without a snapshot (their stop paths never fold)
+        self.server.stop_daemons()
         self.server.service.wal.close()
+
+    def promote(self) -> int:
+        """Promote this (standby) server's service; returns the epoch."""
+        epoch = self.server.service.promote()
+        if self.server.tailer is not None:
+            self.server.tailer.stop()
+        return epoch
 
 
 def resolve_socket_family(url: str) -> tuple[int, object]:

@@ -35,6 +35,17 @@ and concurrency properties are testable in-process:
   its selection problem with everything the catalog (or an earlier
   client tonight) already covers entered at zero cost, claims the
   remainder for that client, and hands back the split.
+
+- **Replication.** A service runs as a ``primary`` or a ``standby``.
+  The primary keeps an in-memory tail of WAL records since the last
+  snapshot and serves it through :meth:`wal_stream`; a standby replays
+  the stream with :meth:`apply_replicated` (same sequence numbers, same
+  single apply path), answering reads but refusing writes with
+  :class:`NotPrimaryError` so clients are redirected.  Promotion is
+  fenced by a monotonic *epoch* persisted in the WAL header: a promoted
+  standby bumps it, and every mutation carrying a lower epoch -- i.e.
+  writes from a resurrected stale primary's clients -- is rejected with
+  :class:`EpochError` before it can corrupt entries (no split-brain).
 """
 
 from __future__ import annotations
@@ -53,7 +64,7 @@ from repro.catalog.store import (
     StatisticsCatalog,
 )
 from repro.core.persistence import FORMAT_VERSION, PersistenceError, atomic_write_json
-from repro.serve.wal import WriteAheadLog
+from repro.serve.wal import WAL_FORMAT_VERSION, WriteAheadLog
 
 #: shards of the in-memory entry map (per-shard read locks)
 DEFAULT_SHARDS = 16
@@ -64,9 +75,34 @@ DEFAULT_SNAPSHOT_EVERY = 256
 #: seconds a writer lease lasts unless renewed
 DEFAULT_LEASE_TTL = 60.0
 
+#: seconds between background snapshot-daemon wakeups
+DEFAULT_SNAPSHOT_INTERVAL = 30.0
+
 
 class FenceError(PersistenceError):
     """A write carried a stale fence token: its lease was taken over."""
+
+
+class EpochError(FenceError):
+    """A write carried a stale promotion epoch: a standby was promoted.
+
+    Subclasses :class:`FenceError` because it is the same shape of
+    failure one level up -- a writer (here: a whole server's clientele)
+    that lost ownership and must not be allowed to clobber the
+    successor's state.
+    """
+
+
+class NotPrimaryError(PersistenceError):
+    """A mutation reached a standby; it carries the primary to redirect to."""
+
+    def __init__(self, primary: str = ""):
+        self.primary = primary
+        where = f"; the primary is {primary}" if primary else ""
+        super().__init__(
+            f"this catalog server is a read-only standby{where}: "
+            "retry the write against the primary or promote this standby"
+        )
 
 
 class CatalogService:
@@ -85,7 +121,13 @@ class CatalogService:
         fsync: bool = True,
         metrics=None,
         clock=time.time,
+        role: str = "primary",
+        primary_url: str = "",
     ):
+        if role not in ("primary", "standby"):
+            raise PersistenceError(
+                f"bad catalog role {role!r}; want 'primary' or 'standby'"
+            )
         self.path = Path(path)
         self.wal = WriteAheadLog(
             Path(wal_path) if wal_path is not None else Path(str(path) + ".wal"),
@@ -112,6 +154,15 @@ class CatalogService:
         #: per-night fleet claims: night -> statistic key -> claiming client
         self._claims: dict[str, dict[str, str]] = {}
 
+        self.role = role
+        self.primary_url = primary_url.rstrip("/") if primary_url else ""
+        self.epoch = 1  # promotion epoch (monotonic, WAL-header persisted)
+        #: WAL records since the last snapshot, kept for wal_stream()
+        self._wal_tail: list[dict] = []
+        #: set when snapshot_every mutations accumulated; the background
+        #: snapshot daemon (not the request path) folds them into a snapshot
+        self._snapshot_due = threading.Event()
+
         self._load()
 
     # ------------------------------------------------------------------
@@ -130,16 +181,28 @@ class CatalogService:
             try:
                 doc = json.loads(self.path.read_text())
                 self.snapshot_seq = int(doc.get("wal_seq", 0))
+                self.epoch = max(self.epoch, int(doc.get("epoch", 1)))
+                self.fence = max(self.fence, int(doc.get("fence", 0)))
+                if doc.get("lease_holder"):
+                    self.lease_holder = str(doc["lease_holder"])
+                    self.lease_deadline = float(doc.get("lease_deadline", 0.0))
             except (OSError, ValueError):
                 self.snapshot_seq = 0
         for record in self.wal.replay(after_seq=self.snapshot_seq):
             self._apply(record)
+            self._wal_tail.append(record)
             replayed += 1
+        # the WAL header may carry a higher epoch than the snapshot (the
+        # promotion happened after the last snapshot was written)
+        self.epoch = max(self.epoch, self.wal.epoch)
         self.replayed_records = replayed
         if self.metrics is not None:
             self.metrics.gauge(
                 "catalog_server_entries", "entries held by the service"
             ).set(len(self))
+            self.metrics.gauge(
+                "catalog_epoch", "promotion epoch of this catalog server"
+            ).set(self.epoch)
             if replayed:
                 self.metrics.counter(
                     "catalog_server_wal_replayed_total",
@@ -212,7 +275,9 @@ class CatalogService:
     # ------------------------------------------------------------------
     # leases
     # ------------------------------------------------------------------
-    def acquire_lease(self, holder: str, ttl: float | None = None) -> int:
+    def acquire_lease(
+        self, holder: str, ttl: float | None = None, epoch: int | None = None
+    ) -> int:
         """Issue a fresh fence token; takes over an expired lease.
 
         A *live* lease held by someone else is not stolen -- the contender
@@ -222,6 +287,8 @@ class CatalogService:
         """
         ttl = self.lease_ttl if ttl is None else ttl
         with self._write_lock:
+            self._check_writable()
+            self._check_epoch(epoch)
             now = self.clock()
             if (
                 self.lease_holder
@@ -242,7 +309,7 @@ class CatalogService:
             self.lease_deadline = deadline
             return fence
 
-    def release_lease(self, fence: int) -> bool:
+    def release_lease(self, fence: int, epoch: int | None = None) -> bool:
         """Give the lease back after a completed save.
 
         Releasing with a stale token is a silent no-op -- the lease was
@@ -250,6 +317,8 @@ class CatalogService:
         release.  The fence counter itself never goes backwards.
         """
         with self._write_lock:
+            self._check_writable()
+            self._check_epoch(epoch)
             if fence != self.fence or not self.lease_holder:
                 return False
             self._append("lease", fence=self.fence, holder="", deadline=0.0)
@@ -264,49 +333,99 @@ class CatalogService:
                 "writer's lease was taken over; re-acquire and retry"
             )
 
+    def _check_writable(self) -> None:
+        if self.role != "primary":
+            raise NotPrimaryError(self.primary_url)
+
+    def _check_epoch(self, epoch: int | None) -> None:
+        """Epoch fencing, checked before anything else on every mutation.
+
+        A *lower* client epoch means the client is stale (a standby was
+        promoted since it last synced): it must refresh.  A *higher*
+        client epoch means **this server** is the stale one -- it was
+        SIGKILLed as primary, a standby took over, and it came back up
+        still believing it leads.  Rejecting here is what prevents
+        split-brain from corrupting entries.
+        """
+        if epoch is None or epoch == self.epoch:
+            return
+        if epoch > self.epoch:
+            raise EpochError(
+                f"this server's epoch {self.epoch} is behind the cluster "
+                f"epoch {epoch}: a standby was promoted over it; this "
+                "server is fenced and must resync before accepting writes"
+            )
+        raise EpochError(
+            f"stale epoch {epoch} (current {self.epoch}): a standby was "
+            "promoted since this writer last synced; refresh and retry"
+        )
+
     # ------------------------------------------------------------------
     # mutations: WAL first, memory second, ack last
     # ------------------------------------------------------------------
     def _append(self, op: str, **fields) -> int:
         seq = self.wal.last_seq + 1
         self.wal.append(op, seq, **fields)
+        self._wal_tail.append(
+            {"v": WAL_FORMAT_VERSION, "seq": seq, "op": op, **fields}
+        )
         if self.metrics is not None:
             self.metrics.counter(
                 "catalog_server_wal_records_total", "durable WAL appends"
             ).inc(op=op)
         return seq
 
-    def _mutate(self, op: str, fence: int | None = None, **fields) -> int:
+    def _mutate(
+        self,
+        op: str,
+        fence: int | None = None,
+        epoch: int | None = None,
+        **fields,
+    ) -> int:
         with self._write_lock:
+            self._check_writable()
+            self._check_epoch(epoch)
             self._check_fence(fence)
             seq = self._append(op, **fields)
             self._apply({"op": op, "seq": seq, **fields})
             self._since_snapshot += 1
             if self._since_snapshot >= self.snapshot_every:
-                self._snapshot_locked()
+                # snapshots happen off the request path: flag the backlog
+                # and let the snapshot daemon (or an explicit caller) fold it
+                self._snapshot_due.set()
             if self.metrics is not None:
                 self.metrics.gauge(
                     "catalog_server_entries", "entries held by the service"
                 ).set(len(self))
             return seq
 
-    def put_entries(self, entry_docs, fence: int | None = None) -> int:
+    def put_entries(
+        self, entry_docs, fence: int | None = None, epoch: int | None = None
+    ) -> int:
         """Insert-or-replace whole entries (the reconcile write path)."""
         docs = [self._validated_entry(doc).to_dict() for doc in entry_docs]
-        return self._mutate("put", fence=fence, entries=docs)
+        return self._mutate("put", fence=fence, epoch=epoch, entries=docs)
 
-    def merge_entries(self, entry_docs, fence: int | None = None) -> int:
+    def merge_entries(
+        self, entry_docs, fence: int | None = None, epoch: int | None = None
+    ) -> int:
         """Fold entries in, newer ``observed_at`` winning per key."""
         docs = [self._validated_entry(doc).to_dict() for doc in entry_docs]
-        return self._mutate("merge", fence=fence, entries=docs)
+        return self._mutate("merge", fence=fence, epoch=epoch, entries=docs)
 
-    def mark_stale(self, keys, fence: int | None = None) -> int:
-        return self._mutate("stale", fence=fence, keys=sorted(set(keys)))
+    def mark_stale(
+        self, keys, fence: int | None = None, epoch: int | None = None
+    ) -> int:
+        return self._mutate(
+            "stale", fence=fence, epoch=epoch, keys=sorted(set(keys))
+        )
 
-    def adjust_quality(self, adjustments, fence: int | None = None) -> int:
+    def adjust_quality(
+        self, adjustments, fence: int | None = None, epoch: int | None = None
+    ) -> int:
         """Blend prediction errors into quality scores; ``[[key, err]..]``."""
         pairs = [[str(key), float(err)] for key, err in adjustments]
-        return self._mutate("quality", fence=fence, adjust=pairs)
+        return self._mutate("quality", fence=fence, epoch=epoch, adjust=pairs)
 
     def gc(
         self,
@@ -314,6 +433,7 @@ class CatalogService:
         min_quality: float | None = None,
         drop_stale: bool = True,
         fence: int | None = None,
+        epoch: int | None = None,
     ) -> int:
         """Drop expired/low-quality/stale entries; returns the count.
 
@@ -335,7 +455,7 @@ class CatalogService:
                     or (drop_stale and entry.stale)
                 )
         if doomed:
-            self._mutate("delete", fence=fence, keys=sorted(doomed))
+            self._mutate("delete", fence=fence, epoch=epoch, keys=sorted(doomed))
         return len(doomed)
 
     @staticmethod
@@ -393,6 +513,144 @@ class CatalogService:
             raise PersistenceError(f"WAL record with unknown op {op!r}")
 
     # ------------------------------------------------------------------
+    # replication: stream the WAL out, apply a streamed WAL in
+    # ------------------------------------------------------------------
+    def wal_stream(self, from_seq: int) -> dict:
+        """One page of the replication stream, from a standby's cursor.
+
+        If the cursor predates the last snapshot the requested records
+        were already folded away, so the answer is a *reset*: the full
+        snapshot document the standby must load before tailing again.
+        Otherwise it is the (possibly empty) list of tail records with
+        ``seq > from_seq``.  Either shape carries the primary's epoch and
+        head sequence so the standby can fence and measure its lag.
+        """
+        with self._write_lock:
+            head = {
+                "epoch": self.epoch,
+                "seq": self.wal.last_seq,
+                "role": self.role,
+            }
+            if from_seq < self.snapshot_seq:
+                return {"reset": True, "snapshot": self.to_dict(), **head}
+            records = [
+                record
+                for record in self._wal_tail
+                if record.get("seq", 0) > from_seq
+            ]
+            return {"records": records, **head}
+
+    def apply_replicated(self, records, epoch: int | None = None) -> int:
+        """Apply streamed WAL records, preserving the primary's sequencing.
+
+        The standby's WAL ends up byte-for-byte equivalent to the
+        primary's suffix: same ops, same sequence numbers, through the
+        same single :meth:`_apply` path.  Records at or below our cursor
+        are skipped (the stream may overlap after a reconnect).
+        """
+        applied = 0
+        with self._write_lock:
+            self._adopt_epoch_locked(epoch)
+            for record in records:
+                seq = record.get("seq", 0)
+                if not isinstance(seq, int) or seq <= self.wal.last_seq:
+                    continue
+                op = record.get("op")
+                fields = {
+                    key: value
+                    for key, value in record.items()
+                    if key not in ("v", "seq", "op")
+                }
+                self.wal.append(op, seq, **fields)
+                self._apply(record)
+                self._wal_tail.append(record)
+                applied += 1
+                self._since_snapshot += 1
+            if self._since_snapshot >= self.snapshot_every:
+                self._snapshot_due.set()
+            if applied and self.metrics is not None:
+                self.metrics.counter(
+                    "catalog_server_replicated_records_total",
+                    "WAL records applied from the replication stream",
+                ).inc(applied)
+                self.metrics.gauge(
+                    "catalog_server_entries", "entries held by the service"
+                ).set(len(self))
+        return applied
+
+    def load_snapshot(self, doc: dict, epoch: int | None = None) -> None:
+        """Bootstrap (or re-bootstrap) this standby from a reset snapshot.
+
+        Replaces all in-memory state with the snapshot, persists it
+        locally, and fast-forwards the WAL cursor to the snapshot's
+        absorbed sequence so tailing resumes exactly where the snapshot
+        ends.
+        """
+        with self._write_lock:
+            self._adopt_epoch_locked(epoch)
+            for shard, lock in zip(self._shards, self._shard_locks):
+                with lock:
+                    shard.clear()
+            for entry_doc in doc.get("entries", ()):
+                entry = CatalogEntry.from_dict(entry_doc)
+                self._shards[self._shard_index(entry.key)][entry.key] = entry
+            self.fence = max(self.fence, int(doc.get("fence", 0)))
+            self.lease_holder = str(doc.get("lease_holder", ""))
+            self.lease_deadline = float(doc.get("lease_deadline", 0.0))
+            self.snapshot_seq = int(doc.get("wal_seq", 0))
+            self.wal.last_seq = max(self.wal.last_seq, self.snapshot_seq)
+            atomic_write_json(self.to_dict(), self.path)
+            self.wal.truncate()
+            self._wal_tail = []
+            self._since_snapshot = 0
+            self._snapshot_due.clear()
+
+    def promote(self) -> int:
+        """Make this standby the primary, fenced by a bumped epoch.
+
+        The epoch is durably written to the WAL header *before* the role
+        flips, so even a crash mid-promotion leaves a server that outranks
+        the primary it replaced.  Promoting a primary is a no-op (returns
+        the current epoch) so the call is idempotent.
+        """
+        with self._write_lock:
+            if self.role != "primary":
+                self.epoch += 1
+                self.wal.write_epoch(self.epoch)
+                self.role = "primary"
+                self.primary_url = ""
+                if self.metrics is not None:
+                    self.metrics.gauge(
+                        "catalog_epoch", "promotion epoch of this catalog server"
+                    ).set(self.epoch)
+                    self.metrics.counter(
+                        "catalog_server_promotions_total",
+                        "standby-to-primary promotions",
+                    ).inc()
+            return self.epoch
+
+    def _adopt_epoch_locked(self, epoch: int | None) -> None:
+        """Track the upstream's epoch while tailing it.
+
+        A *higher* upstream epoch is adopted (the upstream was itself
+        promoted).  A *lower* one means this server was promoted over the
+        upstream -- the stream is stale and must not be applied.
+        """
+        if epoch is None or epoch == self.epoch:
+            return
+        if epoch < self.epoch:
+            raise EpochError(
+                f"replication stream carries stale epoch {epoch} "
+                f"(ours is {self.epoch}): the upstream was superseded"
+            )
+        self.epoch = epoch
+        self.wal.write_epoch(epoch)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "catalog_epoch", "promotion epoch of this catalog server"
+            ).set(self.epoch)
+
+    # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -402,7 +660,23 @@ class CatalogService:
             "kind": "statistics-catalog",
             "entries": [entry.to_dict() for entry in entries],
             "wal_seq": self.wal.last_seq,
+            "epoch": self.epoch,
+            "fence": self.fence,
+            "lease_holder": self.lease_holder,
+            "lease_deadline": self.lease_deadline,
         }
+
+    @property
+    def snapshot_due(self) -> bool:
+        """True when ``snapshot_every`` mutations accumulated unfolded."""
+        return self._snapshot_due.is_set()
+
+    def maybe_snapshot(self) -> bool:
+        """Snapshot only if one is due; the snapshot daemon's fast path."""
+        if not self._snapshot_due.is_set():
+            return False
+        self.snapshot()
+        return True
 
     def snapshot(self) -> None:
         """Persist memory as a plain catalog document, truncate the WAL."""
@@ -414,9 +688,12 @@ class CatalogService:
         atomic_write_json(doc, self.path)
         self.snapshot_seq = doc["wal_seq"]
         self.wal.truncate()
+        self._wal_tail = []
         # the lease fence must survive the truncation: re-seed the fresh
-        # log so a post-snapshot restart still rejects pre-snapshot tokens
-        if self.fence:
+        # log so a post-snapshot restart still rejects pre-snapshot tokens.
+        # Only the primary appends -- a standby's WAL sequence numbers must
+        # mirror the primary's exactly, and its fence rides the snapshot.
+        if self.fence and self.role == "primary":
             self._append(
                 "lease",
                 fence=self.fence,
@@ -424,6 +701,7 @@ class CatalogService:
                 deadline=self.lease_deadline,
             )
         self._since_snapshot = 0
+        self._snapshot_due.clear()
         if self.metrics is not None:
             self.metrics.counter(
                 "catalog_server_snapshots_total", "write-behind snapshots"
@@ -442,6 +720,7 @@ class CatalogService:
         night: str,
         client: str = "",
         solver: str = "greedy",
+        epoch: int | None = None,
     ) -> dict:
         """One client's share of tonight's fleet observation plan.
 
@@ -471,6 +750,9 @@ class CatalogService:
                 continue
         catalog_keys = self.usable_keys()
         with self._write_lock:
+            # claims mutate shared fleet state: primary-only, epoch-fenced
+            self._check_writable()
+            self._check_epoch(epoch)
             claimed = self._claims.setdefault(night, {})
             free = {
                 stat
@@ -517,13 +799,87 @@ class CatalogService:
             "fence": self.fence,
             "lease_holder": self.lease_holder,
             "nights": sorted(self._claims),
+            "role": self.role,
+            "epoch": self.epoch,
+            "primary": self.primary_url,
         }
+
+
+class SnapshotDaemon:
+    """Background thread folding snapshots (and optional GC) off requests.
+
+    The request path only flags that a snapshot is *due*
+    (``snapshot_every`` mutations accumulated); this daemon wakes on that
+    flag or every ``interval`` seconds -- whichever comes first -- and
+    does the actual fold, so no client ever pays the snapshot's
+    write-and-truncate latency.  With ``gc_interval`` set, expired and
+    low-quality entries are also collected here (primary only: deletions
+    replicate to standbys through the WAL stream like any mutation).
+    """
+
+    def __init__(
+        self,
+        service: CatalogService,
+        interval: float = DEFAULT_SNAPSHOT_INTERVAL,
+        gc_interval: float | None = None,
+        clock=time.monotonic,
+    ):
+        self.service = service
+        self.interval = max(0.01, float(interval))
+        self.gc_interval = gc_interval
+        self.clock = clock
+        self.snapshots = 0
+        self.collected = 0
+        self._last_gc = clock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="catalog-snapshot-daemon", daemon=True
+        )
+
+    def start(self) -> "SnapshotDaemon":
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.service._snapshot_due.wait(self.interval)
+            if self._stop.is_set():
+                return
+            self.run_once()
+
+    def run_once(self) -> None:
+        """One daemon tick: GC if its interval elapsed, then fold."""
+        try:
+            if (
+                self.gc_interval is not None
+                and self.service.role == "primary"
+                and self.clock() - self._last_gc >= self.gc_interval
+            ):
+                self.collected += self.service.gc(drop_stale=False)
+                self._last_gc = self.clock()
+            if self.service._since_snapshot:
+                self.service.snapshot()
+                self.snapshots += 1
+        except PersistenceError:  # pragma: no cover - e.g. racing a close
+            pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.service._snapshot_due.set()  # wake the wait immediately
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+        if not self.service._since_snapshot:
+            self.service._snapshot_due.clear()  # undo the wake-up poke
 
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
     "DEFAULT_SHARDS",
     "DEFAULT_SNAPSHOT_EVERY",
+    "DEFAULT_SNAPSHOT_INTERVAL",
     "CatalogService",
+    "EpochError",
     "FenceError",
+    "NotPrimaryError",
+    "SnapshotDaemon",
 ]

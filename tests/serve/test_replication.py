@@ -1,0 +1,408 @@
+"""WAL replication: epoch headers, stream/apply, torn tails, fencing.
+
+The invariant under test is the tentpole's: a standby that tails the
+primary's WAL stream holds a catalog byte-equivalent to the primary's,
+with its own WAL equal to the primary's suffix (same ops, same sequence
+numbers), so a promotion -- fenced by a durably bumped epoch -- loses
+nothing and a resurrected stale primary can never win a write again.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.replication import ReplicationTailer
+from repro.serve.server import ServerThread
+from repro.serve.service import (
+    CatalogService,
+    EpochError,
+    NotPrimaryError,
+    SnapshotDaemon,
+)
+from repro.serve.wal import WalError, WriteAheadLog
+
+pytestmark = pytest.mark.catalog
+
+NOW = 1_000_000.0
+
+
+def entry_doc(key, value=1.0, observed_at=NOW, **over):
+    doc = {
+        "key": key,
+        "se_key": f"se:{key}",
+        "stat": {"kind": "card"},
+        "value": value,
+        "repr": f"T[{key}]",
+        "workflow": "wf",
+        "run_id": "r1",
+        "observed_at": observed_at,
+    }
+    doc.update(over)
+    return doc
+
+
+def primary(tmp_path, **kwargs):
+    kwargs.setdefault("clock", lambda: NOW)
+    kwargs.setdefault("fsync", False)
+    return CatalogService(tmp_path / "primary.json", **kwargs)
+
+
+def standby(tmp_path, primary_url="unix:///nowhere.sock", **kwargs):
+    kwargs.setdefault("clock", lambda: NOW)
+    kwargs.setdefault("fsync", False)
+    return CatalogService(
+        tmp_path / "standby.json",
+        role="standby",
+        primary_url=primary_url,
+        **kwargs,
+    )
+
+
+def replicate(source, target):
+    """Drain the stream from ``source`` into ``target``; records applied."""
+    doc = source.wal_stream(target.wal.last_seq)
+    if doc.get("reset"):
+        target.load_snapshot(doc.get("snapshot", {}), epoch=doc.get("epoch"))
+        return target.wal.last_seq
+    return target.apply_replicated(doc.get("records", ()), epoch=doc.get("epoch"))
+
+
+def stat():
+    from repro.algebra.expressions import SubExpression
+    from repro.core.statistics import Statistic
+
+    return Statistic.card(SubExpression.of("R"))
+
+
+def entries_of(svc):
+    return {entry.key: entry.to_dict() for entry in svc.all_entries()}
+
+
+class TestWalEpochHeader:
+    def test_round_trips_across_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "cat.wal")
+        wal.write_epoch(3)
+        wal.append("stale", 1, keys=["k"])
+        wal.close()
+        again = WriteAheadLog(tmp_path / "cat.wal")
+        # the header replays into .epoch but is never yielded as a record
+        assert [r["seq"] for r in again.replay()] == [1]
+        assert again.epoch == 3
+        assert again.last_seq == 1
+        again.close()
+
+    def test_never_decreases(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "cat.wal")
+        wal.write_epoch(5)
+        with pytest.raises(WalError, match="cannot go backwards"):
+            wal.write_epoch(4)
+        with pytest.raises(WalError, match="epochs start at 1"):
+            wal.write_epoch(0)
+        assert wal.epoch == 5
+        wal.close()
+
+    def test_truncate_reseeds_the_header(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "cat.wal")
+        wal.write_epoch(2)
+        wal.append("stale", 1, keys=["k"])
+        wal.truncate()
+        wal.close()
+        again = WriteAheadLog(tmp_path / "cat.wal")
+        assert list(again.replay()) == []  # records folded away...
+        assert again.epoch == 2  # ...the fence survives the fold
+        again.close()
+
+    def test_torn_tail_after_header_keeps_the_epoch(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "cat.wal")
+        wal.write_epoch(4)
+        wal.append("stale", 1, keys=["k1"])
+        wal.append("stale", 2, keys=["k2"])
+        wal.close()
+        data = (tmp_path / "cat.wal").read_bytes()
+        (tmp_path / "cat.wal").write_bytes(data[:-7])  # tear record 2
+        again = WriteAheadLog(tmp_path / "cat.wal")
+        assert [r["seq"] for r in again.replay()] == [1]
+        assert again.epoch == 4
+        again.close()
+
+
+class TestStreamAndApply:
+    def test_standby_converges_to_the_primary(self, tmp_path):
+        p, s = primary(tmp_path), standby(tmp_path)
+        p.put_entries([entry_doc("a", 1), entry_doc("b", 2)])
+        p.mark_stale(["a"])
+        p.adjust_quality([["b", 0.1]])
+        assert replicate(p, s) == 3
+        assert entries_of(s) == entries_of(p)
+        # the standby's WAL is the primary's suffix: same seqs, same ops
+        assert s.wal.last_seq == p.wal.last_seq
+        p.wal.close(), s.wal.close()
+
+    def test_overlapping_stream_is_idempotent(self, tmp_path):
+        p, s = primary(tmp_path), standby(tmp_path)
+        p.put_entries([entry_doc("a")])
+        doc = p.wal_stream(0)
+        assert s.apply_replicated(doc["records"], epoch=doc["epoch"]) == 1
+        # a reconnect may replay the same page; seqs at/below ours skip
+        assert s.apply_replicated(doc["records"], epoch=doc["epoch"]) == 0
+        assert len(s) == 1
+        p.wal.close(), s.wal.close()
+
+    def test_cursor_behind_snapshot_gets_a_reset(self, tmp_path):
+        p, s = primary(tmp_path), standby(tmp_path)
+        p.put_entries([entry_doc("a"), entry_doc("b")])
+        p.snapshot()  # folds the tail: seq 1-2 are gone from the stream
+        p.put_entries([entry_doc("c")])
+        doc = p.wal_stream(0)
+        assert doc["reset"]
+        # the reset carries the primary's live document: loading it makes
+        # the standby fully caught up, cursor fast-forwarded to the head
+        s.load_snapshot(doc["snapshot"], epoch=doc["epoch"])
+        assert entries_of(s) == entries_of(p)
+        assert s.wal.last_seq == p.wal.last_seq
+        assert replicate(p, s) == 0  # then tailing resumes normally
+        p.put_entries([entry_doc("d")])
+        assert replicate(p, s) == 1
+        assert entries_of(s) == entries_of(p)
+        p.wal.close(), s.wal.close()
+
+    def test_standby_refuses_direct_writes(self, tmp_path):
+        s = standby(tmp_path, primary_url="unix:///tmp/primary.sock")
+        with pytest.raises(NotPrimaryError, match="read-only standby") as exc:
+            s.put_entries([entry_doc("a")])
+        assert exc.value.primary == "unix:///tmp/primary.sock"
+        with pytest.raises(NotPrimaryError):
+            s.acquire_lease("night-1")
+        s.wal.close()
+
+
+class TestTornTailUnderReplication:
+    def test_standby_resumes_from_its_cursor_after_both_crash(self, tmp_path):
+        p, s = primary(tmp_path), standby(tmp_path)
+        p.put_entries([entry_doc(f"k{i}", i) for i in range(4)])
+        p.mark_stale(["k0"])
+        assert replicate(p, s) == 2
+        p.adjust_quality([["k1", 0.2]])
+        assert replicate(p, s) == 1
+        s.wal.close()
+
+        # SIGKILL the standby mid-write: its WAL loses half a record
+        wal_path = tmp_path / "standby.json.wal"
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[:-9])
+
+        # SIGKILL-restart the primary too: it replays its own WAL
+        p.wal.close()
+        p2 = primary(tmp_path)
+        assert p2.wal.last_seq == 3
+
+        # the reopened standby discards the torn tail and resumes tailing
+        # from the last durable record -- no reset, no double-apply
+        s2 = standby(tmp_path)
+        assert s2.wal.last_seq == 2  # record 3 was the torn one
+        assert replicate(p2, s2) == 1
+        assert entries_of(s2) == entries_of(p2)
+        assert s2.wal.last_seq == p2.wal.last_seq == 3
+        p2.wal.close(), s2.wal.close()
+
+
+class TestEpochFencing:
+    def test_promotion_bumps_durably_before_the_role_flips(self, tmp_path):
+        s = standby(tmp_path)
+        assert s.epoch == 1 and s.role == "standby"
+        assert s.promote() == 2
+        assert s.role == "primary"
+        assert s.promote() == 2  # idempotent
+        s.put_entries([entry_doc("after", 9)])  # writable now
+        s.wal.close()
+        # the epoch outranks the old primary even after a crash-restart
+        again = CatalogService(
+            tmp_path / "standby.json", clock=lambda: NOW, fsync=False
+        )
+        assert again.epoch == 2
+        again.wal.close()
+
+    def test_stale_client_epoch_is_rejected(self, tmp_path):
+        p = primary(tmp_path)
+        p.epoch = 3
+        with pytest.raises(EpochError, match="stale epoch"):
+            p.put_entries([entry_doc("a")], epoch=2)
+        p.wal.close()
+
+    def test_resurrected_stale_primary_rejects_newer_writes(self, tmp_path):
+        # the split-brain regression: this server was SIGKILLed as the
+        # primary and came back still believing it leads; a client
+        # carrying the cluster epoch must bounce off it
+        p = primary(tmp_path)
+        assert p.epoch == 1
+        with pytest.raises(EpochError, match="behind the cluster epoch"):
+            p.put_entries([entry_doc("a")], epoch=2)
+        with pytest.raises(EpochError, match="behind the cluster epoch"):
+            p.acquire_lease("night-1", epoch=2)  # lease grants fence too
+        assert len(p) == 0 and p.lease_holder == ""
+        p.wal.close()
+
+    def test_stale_stream_is_not_applied(self, tmp_path):
+        p, s = primary(tmp_path), standby(tmp_path)
+        p.put_entries([entry_doc("a")])
+        s.promote()  # epoch 2: the old stream now carries a stale epoch
+        doc = p.wal_stream(0)
+        with pytest.raises(EpochError, match="stale epoch"):
+            s.apply_replicated(doc["records"], epoch=doc["epoch"])
+        with pytest.raises(EpochError, match="stale epoch"):
+            s.load_snapshot({"entries": []}, epoch=1)
+        p.wal.close(), s.wal.close()
+
+
+class TestSnapshotDaemon:
+    def test_pays_snapshot_debt_off_the_write_path(self, tmp_path):
+        svc = primary(tmp_path, snapshot_every=2)
+        daemon = SnapshotDaemon(svc, interval=0.01).start()
+        try:
+            for i in range(5):
+                svc.put_entries([entry_doc(f"k{i}")])
+            deadline = time.monotonic() + 5.0
+            while svc.snapshot_seq == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert svc.snapshot_seq > 0
+            assert daemon.snapshots >= 1
+        finally:
+            daemon.stop()
+            svc.wal.close()
+
+    def test_gc_runs_on_the_daemon_for_primaries_only(self, tmp_path):
+        late = NOW + 10**9  # every NOW-observed entry is long expired
+        svc = primary(tmp_path, clock=lambda: late)
+        svc.put_entries([entry_doc("old", observed_at=NOW)])
+        daemon = SnapshotDaemon(svc, interval=60.0, gc_interval=0.0)
+        daemon._last_gc = -10**12  # "a gc interval has elapsed"
+        daemon.run_once()
+        assert daemon.collected == 1
+        assert len(svc) == 0
+        svc.wal.close()
+
+        s = standby(tmp_path, clock=lambda: late)
+        sd = SnapshotDaemon(s, interval=60.0, gc_interval=0.0)
+        sd._last_gc = -10**12
+        sd.run_once()  # standbys never gc: deletions replicate from the
+        assert sd.collected == 0  # primary through the stream instead
+        s.wal.close()
+
+
+class TestReplicationTailer:
+    def test_tails_a_live_server_and_reports_lag(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.serve.client import CatalogClient
+
+        listen = f"unix://{tmp_path / 'primary.sock'}"
+        metrics = MetricsRegistry()
+        with ServerThread(
+            listen, tmp_path / "primary.json", fsync=False
+        ) as thread:
+            client = CatalogClient(listen, timeout=2.0, base_delay=0.0)
+            client.record("k1", "se:k1", stat(), 42.0,
+                          workflow="wf", run_id="r")
+            client.save()
+            s = standby(tmp_path, primary_url=listen)
+            tailer = ReplicationTailer(
+                s, listen, poll_interval=0.02, metrics=metrics
+            ).start()
+            try:
+                head = thread.server.service.wal.last_seq
+                assert tailer.wait_caught_up(head, timeout=5.0)
+                assert s.get("k1").value() == 42.0
+                assert tailer.lag == 0
+                assert tailer.polls >= 1 and tailer.failures == 0
+            finally:
+                tailer.stop()
+                s.wal.close()
+            client.close()
+
+    def test_promotes_itself_after_consecutive_failed_polls(self, tmp_path):
+        s = standby(tmp_path, primary_url=f"unix://{tmp_path}/gone.sock")
+        tailer = ReplicationTailer(
+            s,
+            f"unix://{tmp_path}/gone.sock",
+            poll_interval=0.01,
+            timeout=0.2,
+            auto_promote_after=3,
+        ).start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while not tailer.promoted and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert tailer.promoted
+            assert s.role == "primary" and s.epoch == 2
+            assert "promoted after" in tailer.stopped_reason
+        finally:
+            tailer.stop()
+            s.wal.close()
+
+    def test_replication_stall_fault_grows_lag_then_recovers(self, tmp_path):
+        from repro.engine.faults import FaultPlan, FaultSpec
+
+        listen = f"unix://{tmp_path / 'primary.sock'}"
+        with ServerThread(
+            listen, tmp_path / "primary.json", fsync=False
+        ) as thread:
+            thread.server.service.put_entries([entry_doc("a")])
+            s = standby(tmp_path, primary_url=listen)
+            plan = FaultPlan(
+                specs=(FaultSpec(target="*", kind="replication-stall",
+                                 delay=0.01),)
+            )
+            tailer = ReplicationTailer(
+                s, listen, poll_interval=0.01, faults=plan.injector()
+            ).start()
+            try:
+                head = thread.server.service.wal.last_seq
+                assert tailer.wait_caught_up(head, timeout=5.0)
+                # the stall fired once (default budget) inside the tailer
+                assert [e.kind for e in tailer._injector.events] == [
+                    "replication-stall"
+                ]
+            finally:
+                tailer.stop()
+                s.wal.close()
+
+
+class TestHttpReplicationPair:
+    def test_standby_serves_reads_and_redirects_writes(self, tmp_path):
+        from repro.serve.client import CatalogClient
+
+        p_listen = f"unix://{tmp_path / 'p.sock'}"
+        s_listen = f"unix://{tmp_path / 's.sock'}"
+        with ServerThread(
+            p_listen, tmp_path / "p.json", fsync=False
+        ) as p_thread:
+            writer = CatalogClient(p_listen, timeout=2.0, base_delay=0.0)
+            writer.record("k1", "se:k1", stat(), 7.0,
+                          workflow="wf", run_id="r")
+            writer.save()
+            with ServerThread(
+                s_listen,
+                tmp_path / "s.json",
+                fsync=False,
+                replicate_from=p_listen,
+                poll_interval=0.02,
+            ) as s_thread:
+                head = p_thread.server.service.wal.last_seq
+                assert s_thread.server.tailer.wait_caught_up(head, 5.0)
+
+                # reads answered by the standby itself
+                reader = CatalogClient(s_listen, timeout=2.0, base_delay=0.0)
+                assert reader.get("k1").value() == 7.0
+                health = reader.healthz()
+                assert health["role"] == "standby"
+                assert health["upstream"] == p_listen
+
+                # a write sent to the standby chases the advertised
+                # primary (alive, so no promotion happens)
+                reader.record("k2", "se:k2", stat(), 8.0,
+                              workflow="wf", run_id="r")
+                reader.save()
+                assert p_thread.server.service.get("k2").value() == 8.0
+                assert s_thread.server.service.role == "standby"
+                reader.close()
+            writer.close()

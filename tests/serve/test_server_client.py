@@ -44,7 +44,8 @@ class TestParseListen:
         assert parse_listen("unix:///tmp/x.sock") == ("unix", "/tmp/x.sock")
         assert parse_listen("127.0.0.1:8642") == ("tcp", ("127.0.0.1", 8642))
         assert parse_listen("http://0.0.0.0:9000") == ("tcp", ("0.0.0.0", 9000))
-        assert parse_listen(":8000") == ("tcp", ("127.0.0.1", 8000))
+        # port 0 stays valid: tests bind ephemeral ports through it
+        assert parse_listen("127.0.0.1:0") == ("tcp", ("127.0.0.1", 0))
 
     def test_bad_forms(self):
         from repro.core.persistence import PersistenceError
@@ -53,6 +54,14 @@ class TestParseListen:
             parse_listen("no-port-here")
         with pytest.raises(PersistenceError):
             parse_listen("unix://")
+        with pytest.raises(PersistenceError, match="empty host"):
+            parse_listen(":8000")
+        with pytest.raises(PersistenceError, match="out of range"):
+            parse_listen("127.0.0.1:70000")
+        with pytest.raises(PersistenceError, match="bad listen address"):
+            parse_listen("127.0.0.1:")
+        with pytest.raises(PersistenceError, match="bad listen address"):
+            parse_listen("127.0.0.1:80a0")
 
 
 class TestIsCatalogUrl:

@@ -147,12 +147,21 @@ class TestLeases:
 
 
 class TestSnapshots:
-    def test_snapshot_cadence_truncates_the_wal(self, tmp_path):
+    def test_snapshot_cadence_flags_debt_and_maybe_snapshot_pays_it(
+        self, tmp_path
+    ):
         svc = service(tmp_path, snapshot_every=3)
         for i in range(7):
             svc.put_entries([entry_doc(f"k{i}")])
-        # two cadence snapshots happened; only the post-snapshot tail is left
-        assert svc.snapshot_seq >= 6
+        # the write path only *flags* snapshot debt at the cadence -- the
+        # background daemon (or an explicit maybe_snapshot) pays it, so
+        # the fsync'd request path never blocks on a snapshot write
+        assert svc.snapshot_due
+        assert svc.snapshot_seq == 0
+        assert svc.maybe_snapshot()
+        assert svc.snapshot_seq == 7
+        assert not svc.snapshot_due
+        assert not svc.maybe_snapshot()  # no new debt, no snapshot
         svc.wal.close()
         again = service(tmp_path)
         assert len(again) == 7
